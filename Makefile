@@ -1,0 +1,46 @@
+# ERMS reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build vet test bench figures fuzz full-scale examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerates every figure's headline numbers as benchmark metrics.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Prints every figure/ablation table at quick scale (use FIG=8 for one).
+FIG ?= all
+figures:
+	$(GO) run ./cmd/figures -fig $(FIG)
+
+# Paper-scale shape validation (minutes).
+full-scale:
+	ERMS_FULL=1 $(GO) test -run TestPaperScale -v ./internal/experiments/
+
+# Short fuzzing passes over the three parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/auditlog/
+	$(GO) test -fuzz=FuzzParseQuery -fuzztime=30s ./internal/cep/
+	$(GO) test -fuzz=FuzzParseExpr -fuzztime=30s ./internal/classad/
+	$(GO) test -fuzz=FuzzParseAd -fuzztime=30s ./internal/classad/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hotdata
+	$(GO) run ./examples/coldarchive
+	$(GO) run ./examples/standby
+	$(GO) run ./examples/auditreplay
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,85 @@
+// Command dfsio is the TestDFSIO-style read benchmark from the paper's
+// Figure 6: N concurrent readers stream the same file and the tool reports
+// per-reader execution time and throughput under a chosen replication
+// factor.
+//
+// Usage:
+//
+//	dfsio -size 1GB -threads 35 -repl 3
+//	dfsio -sweep            # the full Figure-6 grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"erms/internal/experiments"
+	"erms/internal/hdfs"
+	"erms/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dfsio: ")
+	var (
+		sizeStr = flag.String("size", "1GB", "file size (e.g. 512MB, 2GB)")
+		threads = flag.Int("threads", 7, "concurrent readers")
+		repl    = flag.Int("repl", 3, "replication factor")
+		sweep   = flag.Bool("sweep", false, "run the full Figure-6 grid instead of one point")
+	)
+	flag.Parse()
+
+	if *sweep {
+		rows := experiments.Fig6(experiments.Fig6Config{})
+		fmt.Println(experiments.Fig6Table(rows))
+		return
+	}
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := experiments.NewVanilla(18)
+	if _, err := tb.Cluster.CreateFile("/dfsio", size, *repl, 0); err != nil {
+		log.Fatal(err)
+	}
+	var exec, tput metrics.Sample
+	for i := 0; i < *threads; i++ {
+		tb.Cluster.ReadFileAt(hdfs.ExternalClient, "/dfsio", i, func(r *hdfs.ReadResult) {
+			if r.Err != nil {
+				log.Fatal(r.Err)
+			}
+			exec.Add(r.Duration().Seconds())
+			tput.Add(r.ThroughputMBps())
+		})
+	}
+	tb.Engine.Run()
+	fmt.Printf("file size          %s\n", *sizeStr)
+	fmt.Printf("replication        %d\n", *repl)
+	fmt.Printf("concurrent readers %d\n", *threads)
+	fmt.Printf("avg execution time %.2f s (min %.2f, max %.2f)\n",
+		exec.Mean(), exec.Min(), exec.Max())
+	fmt.Printf("avg throughput     %.2f MB/s per reader (min %.2f)\n",
+		tput.Mean(), tput.Min())
+}
+
+func parseSize(s string) (float64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult = experiments.GB
+		s = strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult = experiments.MB
+		s = strings.TrimSuffix(s, "MB")
+	default:
+		return 0, fmt.Errorf("size %q needs an MB or GB suffix", s)
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

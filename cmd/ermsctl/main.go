@@ -1,0 +1,207 @@
+// Command ermsctl runs an ERMS deployment against a synthetic workload and
+// reports what the system did: judge decisions, Condor user log, replica
+// state, storage and energy accounting.
+//
+// Usage:
+//
+//	ermsctl -duration 2h -seed 3          # replay a trace, print the report
+//	ermsctl -demo                         # scripted hot/cold lifecycle demo
+//	ermsctl -duration 1h -log             # include the Condor user log
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"erms"
+	"erms/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ermsctl: ")
+	var (
+		seed       = flag.Int64("seed", 1, "workload seed")
+		duration   = flag.Duration("duration", time.Hour, "trace length")
+		files      = flag.Int("files", 20, "file catalog size")
+		demo       = flag.Bool("demo", false, "run the scripted hot/cooled/cold lifecycle demo instead of a trace")
+		showLog    = flag.Bool("log", false, "print the Condor user log")
+		tauM       = flag.Float64("taum", 8, "hot threshold τ_M")
+		predictive = flag.Bool("predictive", false, "enable the trend-predicting judge")
+		traceFile  = flag.String("trace", "", "replay a trace file (.json or .csv from swimgen) instead of synthesizing")
+		asJSON     = flag.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	flag.Parse()
+
+	th := erms.DefaultThresholds()
+	th.TauM = *tauM
+	th.Predictive = *predictive
+	sys := erms.NewSystem(erms.Options{Thresholds: th})
+
+	if *demo {
+		runDemo(sys)
+	} else {
+		var trace *erms.Trace
+		if *traceFile != "" {
+			var err error
+			trace, err = loadTrace(*traceFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			trace = erms.SynthesizeWorkload(erms.WorkloadConfig{
+				Seed:             *seed,
+				Duration:         *duration,
+				NumFiles:         *files,
+				MeanInterarrival: 6 * time.Second,
+			})
+		}
+		sys.Preload(trace)
+		sys.ReplayReads(trace, nil)
+		sys.RunUntil(trace.Horizon(30 * time.Minute))
+	}
+	if *asJSON {
+		reportJSON(sys)
+	} else {
+		report(sys, *showLog)
+	}
+}
+
+// jsonReport is the machine-readable run summary.
+type jsonReport struct {
+	Decisions []string          `json:"decisions"`
+	Stats     any               `json:"stats"`
+	Metrics   erms.HDFSMetrics  `json:"metrics"`
+	StorageGB float64           `json:"storageGB"`
+	Energy    erms.EnergyReport `json:"energy"`
+	Datanodes []jsonDatanode    `json:"datanodes"`
+	CondorLog []string          `json:"condorLog"`
+}
+
+type jsonDatanode struct {
+	Name   string  `json:"name"`
+	State  string  `json:"state"`
+	Blocks int     `json:"blocks"`
+	UsedGB float64 `json:"usedGB"`
+	Pool   bool    `json:"standbyPool"`
+}
+
+func reportJSON(sys *erms.System) {
+	m := sys.Manager()
+	rep := jsonReport{
+		Stats:     m.Stats(),
+		Metrics:   sys.Metrics(),
+		StorageGB: sys.StorageUsed() / erms.GB,
+		Energy:    sys.Energy(),
+	}
+	for _, d := range sys.Decisions() {
+		rep.Decisions = append(rep.Decisions, d.String())
+	}
+	for _, d := range sys.HDFS().Datanodes() {
+		rep.Datanodes = append(rep.Datanodes, jsonDatanode{
+			Name:   d.Name,
+			State:  d.State.String(),
+			Blocks: d.NumBlocks(),
+			UsedGB: d.Used / erms.GB,
+			Pool:   m.InStandbyPool(d.ID),
+		})
+	}
+	for _, ev := range m.Scheduler().Log() {
+		rep.CondorLog = append(rep.CondorLog, ev.String())
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadTrace(path string) (*erms.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return workload.ReadCSV(f)
+	}
+	return workload.ReadJSON(f)
+}
+
+func runDemo(sys *erms.System) {
+	fmt.Println("== demo: one file through the hot → cooled → cold lifecycle ==")
+	must(sys.CreateFile("/demo/dataset", 640*erms.MB))
+	// Phase 1: sustained hammering so the judge marks the file hot and the
+	// extra replicas are observable while the load is still on.
+	for wave := 0; wave < 10; wave++ {
+		sys.Engine().Schedule(time.Duration(wave)*time.Minute, func() {
+			for i := 0; i < 12; i++ {
+				sys.Read(i%10, "/demo/dataset", nil)
+			}
+		})
+	}
+	sys.RunFor(8 * time.Minute)
+	fmt.Printf("during hot phase:   replication = %d\n", sys.Replication("/demo/dataset"))
+	sys.RunFor(4 * time.Minute)
+	// Phase 2: silence; the judge cools it back to the default factor.
+	sys.RunFor(30 * time.Minute)
+	fmt.Printf("after cool-down:    replication = %d\n", sys.Replication("/demo/dataset"))
+	// Phase 3: long silence; the file goes cold and is erasure-coded.
+	sys.RunFor(3 * time.Hour)
+	f := sys.HDFS().File("/demo/dataset")
+	fmt.Printf("after cold phase:   encoded = %v, parity blocks = %d\n", f.Encoded, len(f.Parity))
+	// Phase 4: access it again; ERMS decodes immediately.
+	sys.Read(3, "/demo/dataset", nil)
+	sys.RunFor(20 * time.Minute)
+	f = sys.HDFS().File("/demo/dataset")
+	fmt.Printf("after re-access:    encoded = %v, replication = %d\n\n", f.Encoded, sys.Replication("/demo/dataset"))
+}
+
+func report(sys *erms.System, showLog bool) {
+	fmt.Println("== decisions ==")
+	for _, d := range sys.Decisions() {
+		fmt.Println("  " + d.String())
+	}
+	m := sys.Manager()
+	st := m.Stats()
+	fmt.Printf("\n== summary ==\n")
+	fmt.Printf("decisions: %d (increase %d, decrease %d, encode %d, decode %d)\n",
+		st.Decisions, st.Increases, st.Decreases, st.Encodes, st.Decodes)
+	fmt.Printf("standby commissions: %d, shutdowns: %d\n", st.Commissions, st.Shutdowns)
+	cm := sys.Metrics()
+	fmt.Printf("reads: %d completed, %.1f GB read, locality %d/%d/%d (node/rack/remote)\n",
+		cm.ReadsCompleted, cm.BytesRead/erms.GB, cm.NodeLocalReads, cm.RackLocalReads, cm.RemoteReads)
+	fmt.Printf("replication traffic: %.0f MB across %d replica adds\n", cm.ReplicationMB, cm.ReplicasAdded)
+	fmt.Printf("storage used: %.1f GB across %d datanodes\n",
+		sys.StorageUsed()/erms.GB, sys.HDFS().NumDatanodes())
+	en := sys.Energy()
+	fmt.Printf("energy: %d pool nodes, %.1f node-hours saved vs always-on\n",
+		en.PoolNodes, en.SavedNodeHours)
+
+	fmt.Println("\n== datanodes ==")
+	for _, d := range sys.HDFS().Datanodes() {
+		pool := ""
+		if m.InStandbyPool(d.ID) {
+			pool = " [pool]"
+		}
+		fmt.Printf("  %-8s %-8s blocks=%-4d used=%6.1f GB%s\n",
+			d.Name, d.State, d.NumBlocks(), d.Used/erms.GB, pool)
+	}
+	if showLog {
+		fmt.Println("\n== condor user log ==")
+		for _, ev := range m.Scheduler().Log() {
+			fmt.Println("  " + ev.String())
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

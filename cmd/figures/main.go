@@ -1,0 +1,154 @@
+// Command figures regenerates the data behind every figure in the ERMS
+// paper's evaluation (Figures 3–9), plus the ablations and the reliability
+// study documented in DESIGN.md. Output is plain aligned text, one table
+// per figure.
+//
+// Usage:
+//
+//	figures -fig all            # everything, quick scale
+//	figures -fig 3a -full       # one figure at paper scale
+//	figures -fig 8 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"erms/internal/experiments"
+	"erms/internal/metrics"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, all")
+	seed := flag.Int64("seed", 1, "workload seed")
+	full := flag.Bool("full", false, "paper-scale runs (slower) instead of quick scale")
+	plot := flag.Bool("plot", false, "also draw ASCII charts for the series figures (4, 5)")
+	flag.Parse()
+
+	want := func(name string) bool {
+		return *fig == "all" || strings.EqualFold(*fig, name) ||
+			(len(name) > 1 && strings.EqualFold(*fig, name[:1])) // "3" matches 3a+3b
+	}
+	ran := false
+
+	if want("3a") || want("3b") {
+		ran = true
+		dur := 45 * time.Minute
+		files := 16
+		if *full {
+			dur, files = 2*time.Hour, 30
+		}
+		rows := experiments.Fig3(experiments.Fig3Config{Seed: *seed, Duration: dur, Files: files})
+		fmt.Println(experiments.Fig3Table(rows))
+	}
+	if want("4") {
+		ran = true
+		dur := 2 * time.Hour
+		if *full {
+			dur = 6 * time.Hour
+		}
+		rows := experiments.Fig4(*seed, dur)
+		fmt.Println(experiments.Fig4Table(rows))
+		if *plot {
+			s := metrics.Series{Name: "cdf", Mark: '*'}
+			for _, r := range rows {
+				s.Xs = append(s.Xs, r.Hours)
+				s.Ys = append(s.Ys, r.CDF)
+			}
+			ch := metrics.Chart{Title: "Figure 4 (shape)", XLabel: "hours",
+				YLabel: "CDF", Series: []metrics.Series{s}}
+			fmt.Println(ch.Render())
+		}
+	}
+	if want("5") {
+		ran = true
+		cfg := experiments.Fig5Config{Seed: *seed, Duration: 3 * time.Hour, Files: 16}
+		if *full {
+			cfg.Duration, cfg.Files = 6*time.Hour, 24
+		}
+		rows := experiments.Fig5(cfg)
+		fmt.Println(experiments.Fig5Table(rows))
+		if *plot {
+			van := metrics.Series{Name: "vanilla", Mark: 'v'}
+			er := metrics.Series{Name: "erms", Mark: 'e'}
+			for _, r := range rows {
+				van.Xs = append(van.Xs, r.Hours)
+				van.Ys = append(van.Ys, r.VanillaGB)
+				er.Xs = append(er.Xs, r.Hours)
+				er.Ys = append(er.Ys, r.ERMSGB)
+			}
+			ch := metrics.Chart{Title: "Figure 5 (shape)", XLabel: "hours",
+				YLabel: "GB", Series: []metrics.Series{van, er}}
+			fmt.Println(ch.Render())
+		}
+	}
+	if want("6") {
+		ran = true
+		cfg := experiments.Fig6Config{}
+		if !*full {
+			cfg.FileSize = 512 * experiments.MB
+		}
+		fmt.Println(experiments.Fig6Table(experiments.Fig6(cfg)))
+	}
+	if want("7") {
+		ran = true
+		cfg := experiments.Fig7Config{}
+		if !*full {
+			cfg.Sizes = []float64{64 * experiments.MB, 256 * experiments.MB,
+				1 * experiments.GB, 4 * experiments.GB}
+		}
+		fmt.Println(experiments.Fig7Table(experiments.Fig7(cfg)))
+	}
+	if want("8") {
+		ran = true
+		cfg := experiments.Fig89Config{}
+		repls := []int{2, 4, 6, 8}
+		if *full {
+			repls = []int{1, 2, 3, 4, 5, 6, 7, 8}
+		} else {
+			cfg.FileSize = 512 * experiments.MB
+		}
+		fmt.Println(experiments.Fig8Table(experiments.Fig8(cfg, repls)))
+	}
+	if want("9") {
+		ran = true
+		cfg := experiments.Fig89Config{}
+		clients := 70
+		repls := []int{2, 3, 4, 5, 6, 7, 8}
+		if !*full {
+			cfg.FileSize = 512 * experiments.MB
+			clients = 40
+			repls = []int{2, 4, 6, 8}
+		}
+		fmt.Println(experiments.Fig9Table(experiments.Fig9(cfg, clients, repls)))
+	}
+	if want("ablations") {
+		ran = true
+		fmt.Println(experiments.AblationPlacementTable(experiments.AblationPlacement()))
+		fmt.Println(experiments.AblationIdleTable(experiments.AblationIdleScheduling()))
+		dur := 40 * time.Minute
+		if *full {
+			dur = 90 * time.Minute
+		}
+		fmt.Println(experiments.AblationThresholdsTable(
+			experiments.AblationThresholds(*seed, dur, nil)))
+		fmt.Println(experiments.AblationPredictiveTable(experiments.AblationPredictive()))
+		fmt.Println(experiments.AblationSpeculationTable(experiments.AblationSpeculation()))
+	}
+	if want("reliability") {
+		ran = true
+		trials := 2000
+		if *full {
+			trials = 20000
+		}
+		fmt.Println(experiments.ReliabilityTable(experiments.Reliability(trials, nil, *seed)))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

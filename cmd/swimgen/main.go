@@ -1,0 +1,92 @@
+// Command swimgen synthesizes SWIM-style heavy-tailed workload traces
+// (the statistical shape of the Facebook production trace the ERMS paper
+// replays) and inspects existing traces.
+//
+// Usage:
+//
+//	swimgen -duration 2h -files 40 -seed 7 > trace.json
+//	swimgen -inspect trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"erms/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swimgen: ")
+	var (
+		seed     = flag.Int64("seed", 1, "random seed")
+		duration = flag.Duration("duration", 2*time.Hour, "trace length")
+		files    = flag.Int("files", 40, "file catalog size")
+		interarr = flag.Duration("interarrival", 20*time.Second, "mean job inter-arrival")
+		halfLife = flag.Duration("halflife", 90*time.Minute, "popularity half-life")
+		format   = flag.String("format", "json", "output format: json or csv")
+		inspect  = flag.String("inspect", "", "summarize an existing trace file (.json or .csv) instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		tr, err := loadTrace(*inspect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		summarize(tr)
+		return
+	}
+
+	tr := workload.Synthesize(workload.Config{
+		Seed:               *seed,
+		Duration:           *duration,
+		NumFiles:           *files,
+		MeanInterarrival:   *interarr,
+		PopularityHalfLife: *halfLife,
+	})
+	var err error
+	switch *format {
+	case "json":
+		err = tr.WriteJSON(os.Stdout)
+	case "csv":
+		err = tr.WriteCSV(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadTrace(path string) (*workload.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return workload.ReadCSV(f)
+	}
+	return workload.ReadJSON(f)
+}
+
+func summarize(tr *workload.Trace) {
+	fmt.Printf("seed      %d\n", tr.Seed)
+	fmt.Printf("duration  %v\n", tr.Duration)
+	fmt.Printf("files     %d\n", len(tr.Files))
+	fmt.Printf("jobs      %d\n", len(tr.Jobs))
+	fmt.Printf("skew      %.3f (Gini over per-file access counts)\n", tr.GiniSkew())
+	fmt.Println("\ntop files by accesses:")
+	counts := tr.AccessCounts()
+	for i, c := range counts {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %-16s %d\n", c.Path, c.Count)
+	}
+}

@@ -1,0 +1,278 @@
+// Package erms is an elastic replication management system for an HDFS
+// model, reproducing Cheng et al., "ERMS: An Elastic Replication
+// Management System for HDFS" (IEEE CLUSTER 2012 Workshops).
+//
+// ERMS watches the HDFS audit stream through a complex-event-processing
+// engine, classifies every file as hot, cooled, normal or cold, and reacts
+// elastically: hot data gains extra replicas on commissioned standby
+// nodes, cooled data loses them again (standby-first, no rebalancing),
+// and cold data is Reed–Solomon encoded (one replica plus four parities)
+// to reclaim storage. Management tasks run through a Condor-style
+// scheduler: urgent work immediately, space-reclaiming work when the
+// cluster is idle, with a replayable user log and automatic rollback.
+//
+// Everything — the cluster, disks, network, schedulers — runs on a
+// deterministic discrete-event simulation, so experiments are exactly
+// reproducible and take milliseconds of wall time per simulated hour.
+//
+// # Quick start
+//
+//	sys := erms.NewSystem(erms.Options{})      // 18-node testbed, 8 standby
+//	sys.CreateFile("/data/logs", 640*erms.MB)  // triplicated by default
+//	for i := 0; i < 40; i++ {                  // make it hot
+//		sys.Read(i%10, "/data/logs", nil)
+//	}
+//	sys.RunFor(10 * time.Minute)               // judge reacts, replicas grow
+//	fmt.Println(sys.Replication("/data/logs")) // > 3
+//
+// The internal packages expose the full substrates (HDFS model, CEP
+// engine, ClassAds, Condor scheduler, Reed–Solomon codec, SWIM-style
+// workload synthesis); the aliases below surface the types needed to use
+// them through this package.
+package erms
+
+import (
+	"time"
+
+	"erms/internal/core"
+	"erms/internal/hdfs"
+	"erms/internal/mapred"
+	"erms/internal/sim"
+	"erms/internal/topology"
+	"erms/internal/workload"
+)
+
+// Re-exported size units.
+const (
+	// MB is one megabyte in bytes.
+	MB = float64(topology.MB)
+	// GB is one gigabyte in bytes.
+	GB = float64(topology.GB)
+)
+
+// Aliases surfacing the main configuration and result types so callers of
+// this package rarely need the internal import paths.
+type (
+	// Thresholds are the Data Judge tunables (τ_M, M_M, M_m, ε, τ_d, τ_m,
+	// τ_DN, cold age, erasure geometry).
+	Thresholds = core.Thresholds
+	// Decision is one judge output (class, action, target replication).
+	Decision = core.Decision
+	// ReadResult describes one completed file read.
+	ReadResult = hdfs.ReadResult
+	// WriteResult describes one completed pipelined write.
+	WriteResult = hdfs.WriteResult
+	// BalancerReport summarizes a balancer run.
+	BalancerReport = hdfs.BalancerReport
+	// Job is a MapReduce job for Submit.
+	Job = mapred.Job
+	// Trace is a synthetic SWIM-style workload.
+	Trace = workload.Trace
+	// WorkloadConfig tunes trace synthesis.
+	WorkloadConfig = workload.Config
+	// EnergyReport summarizes standby-pool uptime.
+	EnergyReport = core.EnergyReport
+	// HDFSMetrics aggregates storage-level counters.
+	HDFSMetrics = hdfs.Metrics
+)
+
+// DefaultThresholds returns the paper-calibrated judge thresholds.
+func DefaultThresholds() Thresholds { return core.DefaultThresholds() }
+
+// SynthesizeWorkload builds a deterministic heavy-tailed trace.
+func SynthesizeWorkload(cfg WorkloadConfig) *Trace { return workload.Synthesize(cfg) }
+
+// Options sizes a System. The zero value reproduces the paper's testbed:
+// 18 datanodes in 3 racks, 64 MB blocks, default replication 3, and (when
+// ERMS is enabled) the last 8 nodes as the standby pool.
+type Options struct {
+	// Racks in the cluster (default 3).
+	Racks int
+	// Nodes is the total datanode count (default 18).
+	Nodes int
+	// StandbyNodes is the size of the ERMS standby pool taken from the end
+	// of the node range (default 8; pass -1 to run ERMS with every node
+	// active). Ignored when DisableERMS is set.
+	StandbyNodes int
+	// BlockSize in bytes (default 64 MB).
+	BlockSize float64
+	// DefaultReplication (default 3).
+	DefaultReplication int
+	// Thresholds for the Data Judge (zero fields take defaults).
+	Thresholds Thresholds
+	// Scheduler selects the MapReduce scheduler: "fifo" (default) or
+	// "fair".
+	Scheduler string
+	// SlotsPerNode is the map-slot count per node (default 2).
+	SlotsPerNode int
+	// DisableERMS runs a vanilla triplicating HDFS with every node active
+	// (the paper's baseline).
+	DisableERMS bool
+	// JudgePeriod overrides how often the Data Judge runs (default: the
+	// thresholds window).
+	JudgePeriod time.Duration
+}
+
+// System bundles a simulated deployment: engine, HDFS, MapReduce runtime,
+// and (unless disabled) the ERMS manager.
+type System struct {
+	engine  *sim.Engine
+	cluster *hdfs.Cluster
+	mr      *mapred.Cluster
+	manager *core.Manager
+}
+
+// NewSystem builds a deployment from opts.
+func NewSystem(opts Options) *System {
+	if opts.Racks <= 0 {
+		opts.Racks = 3
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 18
+	}
+	if opts.StandbyNodes < 0 || opts.DisableERMS {
+		opts.StandbyNodes = 0
+	} else if opts.StandbyNodes == 0 {
+		opts.StandbyNodes = 8
+	}
+	if opts.StandbyNodes >= opts.Nodes {
+		opts.StandbyNodes = opts.Nodes / 2
+	}
+	engine := sim.NewEngine()
+	topo := topology.New(topology.Config{Racks: opts.Racks, NodeCount: opts.Nodes})
+	var standby []hdfs.DatanodeID
+	for id := opts.Nodes - opts.StandbyNodes; id < opts.Nodes; id++ {
+		standby = append(standby, hdfs.DatanodeID(id))
+	}
+	cluster := hdfs.New(engine, hdfs.Config{
+		Topology:           topo,
+		BlockSize:          opts.BlockSize,
+		DefaultReplication: opts.DefaultReplication,
+		StandbyNodes:       standby,
+	})
+	var sched mapred.Scheduler = mapred.NewFIFO()
+	if opts.Scheduler == "fair" {
+		sched = mapred.NewFair()
+	}
+	s := &System{
+		engine:  engine,
+		cluster: cluster,
+		mr:      mapred.New(cluster, opts.SlotsPerNode, sched),
+	}
+	if !opts.DisableERMS {
+		s.manager = core.New(cluster, core.Config{
+			Thresholds:  opts.Thresholds,
+			JudgePeriod: opts.JudgePeriod,
+		})
+	}
+	return s
+}
+
+// Engine returns the simulation engine (for scheduling custom events).
+func (s *System) Engine() *sim.Engine { return s.engine }
+
+// HDFS returns the storage cluster.
+func (s *System) HDFS() *hdfs.Cluster { return s.cluster }
+
+// MapReduce returns the job runtime.
+func (s *System) MapReduce() *mapred.Cluster { return s.mr }
+
+// Manager returns the ERMS manager, or nil when DisableERMS was set.
+func (s *System) Manager() *core.Manager { return s.manager }
+
+// Now returns the current virtual time.
+func (s *System) Now() time.Duration { return s.engine.Now() }
+
+// RunFor advances the simulation by d of virtual time.
+func (s *System) RunFor(d time.Duration) { s.engine.RunFor(d) }
+
+// RunUntil advances the simulation to absolute virtual time t.
+func (s *System) RunUntil(t time.Duration) { s.engine.RunUntil(t) }
+
+// CreateFile adds a file of the given size (bytes) at the default
+// replication, placing the first replica on node 0's rack neighborhood.
+func (s *System) CreateFile(path string, size float64) error {
+	_, err := s.cluster.CreateFile(path, size, 0, 0)
+	return err
+}
+
+// CreateFileOn adds a file with an explicit replication factor and writer
+// node.
+func (s *System) CreateFileOn(path string, size float64, repl, writer int) error {
+	_, err := s.cluster.CreateFile(path, size, repl, topology.NodeID(writer))
+	return err
+}
+
+// Read streams the file to client node (asynchronously); done may be nil.
+func (s *System) Read(client int, path string, done func(*ReadResult)) {
+	s.cluster.ReadFile(topology.NodeID(client), path, done)
+}
+
+// Write streams a new file into the cluster through a real HDFS-style
+// replication pipeline (unlike CreateFile, which materializes data
+// instantly for setup). done may be nil.
+func (s *System) Write(client int, path string, size float64, done func(*WriteResult)) {
+	s.cluster.WriteFile(topology.NodeID(client), path, size, 0, done)
+}
+
+// Balance runs the HDFS balancer until active nodes sit within threshold
+// (fraction of capacity) of the mean utilization.
+func (s *System) Balance(threshold float64, done func(BalancerReport)) {
+	s.cluster.Balance(threshold, 4, done)
+}
+
+// Submit queues a MapReduce job.
+func (s *System) Submit(j *Job) error { return s.mr.Submit(j) }
+
+// Rename moves a file to a new path (metadata-only); ERMS's judge state
+// follows the file.
+func (s *System) Rename(src, dst string) error { return s.cluster.Rename(src, dst) }
+
+// Delete removes a file and frees its replicas.
+func (s *System) Delete(path string) error { return s.cluster.DeleteFile(path) }
+
+// Replication returns a file's current replica count.
+func (s *System) Replication(path string) int { return s.cluster.ReplicationOf(path) }
+
+// StorageUsed returns total bytes stored across datanodes.
+func (s *System) StorageUsed() float64 { return s.cluster.TotalUsed() }
+
+// Metrics returns storage-level counters.
+func (s *System) Metrics() HDFSMetrics { return s.cluster.Metrics() }
+
+// Decisions returns the ERMS decision history (nil without ERMS).
+func (s *System) Decisions() []Decision {
+	if s.manager == nil {
+		return nil
+	}
+	return s.manager.History()
+}
+
+// Energy returns the standby-pool energy report (zero without ERMS).
+func (s *System) Energy() EnergyReport {
+	if s.manager == nil {
+		return EnergyReport{}
+	}
+	return s.manager.Energy()
+}
+
+// Preload creates a trace's files at their creation times.
+func (s *System) Preload(t *Trace) { workload.Preload(s.engine, s.cluster, t) }
+
+// ReplayJobs submits a trace's jobs to MapReduce at their trace times.
+func (s *System) ReplayJobs(t *Trace, onDone func(*Job)) {
+	workload.ReplayMapReduce(s.engine, s.mr, t, onDone)
+}
+
+// ReplayReads replays a trace as direct whole-file client reads.
+func (s *System) ReplayReads(t *Trace, onDone func(*ReadResult)) {
+	workload.ReplayReads(s.engine, s.cluster, t, onDone)
+}
+
+// Stop halts ERMS background activity (judge ticker, negotiator) so the
+// event queue can drain.
+func (s *System) Stop() {
+	if s.manager != nil {
+		s.manager.Stop()
+	}
+}

@@ -1,0 +1,66 @@
+package erms_test
+
+import (
+	"fmt"
+	"time"
+
+	"erms"
+)
+
+// The canonical flow: build the paper's testbed, create a file, drive
+// sustained demand, and watch the Data Judge raise the replication factor.
+func Example() {
+	sys := erms.NewSystem(erms.Options{})
+	if err := sys.CreateFile("/data/logs", 640*erms.MB); err != nil {
+		panic(err)
+	}
+	for wave := 0; wave < 8; wave++ {
+		sys.Engine().Schedule(time.Duration(wave)*time.Minute, func() {
+			for client := 0; client < 10; client++ {
+				sys.Read(client, "/data/logs", nil)
+			}
+		})
+	}
+	sys.RunFor(10 * time.Minute)
+	fmt.Println("replication:", sys.Replication("/data/logs"))
+	// Output:
+	// replication: 10
+}
+
+// Cold data is erasure-coded automatically after ColdAge of silence,
+// reclaiming most of its storage.
+func Example_coldData() {
+	th := erms.DefaultThresholds()
+	th.ColdAge = time.Hour
+	sys := erms.NewSystem(erms.Options{Thresholds: th})
+	if err := sys.CreateFile("/archive", 640*erms.MB); err != nil {
+		panic(err)
+	}
+	before := sys.StorageUsed()
+	sys.RunFor(3 * time.Hour)
+	after := sys.StorageUsed()
+	fmt.Printf("encoded: %v\n", sys.HDFS().File("/archive").Encoded)
+	fmt.Printf("storage: %.0f%% of the triplicated footprint\n", after/before*100)
+	// Output:
+	// encoded: true
+	// storage: 47% of the triplicated footprint
+}
+
+// Replaying a synthetic SWIM-style trace through the MapReduce runtime.
+func Example_workload() {
+	trace := erms.SynthesizeWorkload(erms.WorkloadConfig{
+		Seed:             1,
+		Duration:         20 * time.Minute,
+		NumFiles:         5,
+		MeanInterarrival: time.Minute,
+		MaxFileSize:      128 * erms.MB,
+	})
+	sys := erms.NewSystem(erms.Options{Scheduler: "fair"})
+	sys.Preload(trace)
+	done := 0
+	sys.ReplayJobs(trace, func(j *erms.Job) { done++ })
+	sys.RunUntil(trace.Horizon(time.Hour))
+	fmt.Printf("ran %d of %d jobs\n", done, len(trace.Jobs))
+	// Output:
+	// ran 22 of 22 jobs
+}

@@ -1,0 +1,178 @@
+package auditlog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sample() Record {
+	return Record{
+		Time:    90*time.Minute + 250*time.Millisecond,
+		Allowed: true,
+		UGI:     "hadoop",
+		IP:      "10.1.2.3",
+		Cmd:     CmdOpen,
+		Src:     "/data/warehouse/part-0001",
+	}
+}
+
+func TestFormatShape(t *testing.T) {
+	line := sample().Format()
+	for _, want := range []string{
+		"2012-07-05 11:30:00,250",
+		"INFO FSNamesystem.audit:",
+		"allowed=true",
+		"ugi=hadoop",
+		"ip=/10.1.2.3",
+		"cmd=open",
+		"src=/data/warehouse/part-0001",
+		"dst=null",
+		"perm=null",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	recs := []Record{
+		sample(),
+		{Time: 0, Allowed: false, UGI: "alice", IP: "192.168.0.9", Cmd: CmdDelete, Src: "/tmp/x"},
+		{Time: 48 * time.Hour, Allowed: true, UGI: "bob", IP: "10.0.0.1", Cmd: CmdRename,
+			Src: "/a", Dst: "/b", Perm: "rw-r--r--"},
+		{Time: 123 * time.Millisecond, Allowed: true, UGI: "u", IP: "1.2.3.4", Cmd: CmdSetRepl, Src: "/f"},
+	}
+	for _, r := range recs {
+		got, err := Parse(r.Format())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", r.Format(), err)
+		}
+		if got != r {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, r)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"short",
+		"2012-07-05 11:30:00,250 INFO something-else: cmd=open",
+		"2012-07-05X11:30:00,250 INFO FSNamesystem.audit: cmd=open",
+		"2012-07-05 11:30:00,2x0 INFO FSNamesystem.audit: cmd=open",
+		"2012-07-05 11:30:00,250 INFO FSNamesystem.audit: allowed=true src=/x",
+	} {
+		if _, err := Parse(line); err == nil {
+			t.Fatalf("Parse(%q) accepted", line)
+		}
+	}
+}
+
+func TestParseToleratesWhitespace(t *testing.T) {
+	line := "   " + sample().Format() + "  "
+	if _, err := Parse(line); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogDispatchAndCount(t *testing.T) {
+	l := NewLog(false)
+	var got []Record
+	l.Subscribe(func(r Record) { got = append(got, r) })
+	order := []string{}
+	l.Subscribe(func(Record) { order = append(order, "second") })
+	l.Append(sample())
+	l.Append(sample())
+	if l.Count() != 2 || len(got) != 2 || len(order) != 2 {
+		t.Fatalf("count=%d got=%d order=%d", l.Count(), len(got), len(order))
+	}
+	if l.Records() != nil {
+		t.Fatal("non-keeping log retained records")
+	}
+}
+
+func TestLogKeepAndDump(t *testing.T) {
+	l := NewLog(true)
+	l.Append(sample())
+	r2 := sample()
+	r2.Cmd = CmdCreate
+	l.Append(r2)
+	dump := l.Dump()
+	recs, err := ParseAll(dump + "\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0] != sample() || recs[1] != r2 {
+		t.Fatalf("ParseAll mismatch: %+v", recs)
+	}
+}
+
+func TestParseAllPropagatesErrors(t *testing.T) {
+	if _, err := ParseAll("not a log line"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// Property: Format/Parse round-trips for arbitrary printable paths, users
+// and millisecond-aligned times.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(ms uint32, user, path uint16, allowed bool) bool {
+		r := Record{
+			Time:    time.Duration(ms) * time.Millisecond,
+			Allowed: allowed,
+			UGI:     "user" + strconvU(user),
+			IP:      "10.0.0.1",
+			Cmd:     CmdOpen,
+			Src:     "/dir/file-" + strconvU(path),
+		}
+		got, err := Parse(r.Format())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func strconvU(v uint16) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{digits[v%10]}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestParseStreamSkipsForeignLines(t *testing.T) {
+	l := NewLog(true)
+	l.Append(sample())
+	r2 := sample()
+	r2.Cmd = CmdDelete
+	l.Append(r2)
+	mixed := "2012-07-05 11:00:00,000 INFO namenode.FSNamesystem: not an audit line\n" +
+		l.Dump() +
+		"garbage\n\n" +
+		"2012-07-05 11:30:00,250 WARN something.else: ignored\n"
+	var got []Record
+	parsed, skipped, err := ParseStream(strings.NewReader(mixed), func(r Record) {
+		got = append(got, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != 2 || len(got) != 2 {
+		t.Fatalf("parsed = %d, got %d records", parsed, len(got))
+	}
+	if skipped != 3 {
+		t.Fatalf("skipped = %d, want 3", skipped)
+	}
+	if got[0] != sample() || got[1] != r2 {
+		t.Fatalf("records corrupted: %+v", got)
+	}
+}

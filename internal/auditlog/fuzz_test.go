@@ -1,0 +1,30 @@
+package auditlog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// re-format into a line it accepts again with identical content.
+func FuzzParse(f *testing.F) {
+	f.Add(sample().Format())
+	f.Add("2012-07-05 10:00:00,000 INFO FSNamesystem.audit: allowed=true ugi=u ip=/1.2.3.4 cmd=open src=/x dst=null perm=null")
+	f.Add("garbage")
+	f.Add("")
+	f.Add("2012-07-05 10:00:00,abc INFO FSNamesystem.audit: cmd=open")
+	f.Add(strings.Repeat("x", 300))
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := Parse(line)
+		if err != nil {
+			return
+		}
+		back, err := Parse(rec.Format())
+		if err != nil {
+			t.Fatalf("reparse of formatted record failed: %v", err)
+		}
+		if back != rec {
+			t.Fatalf("format/parse not idempotent: %+v vs %+v", rec, back)
+		}
+	})
+}

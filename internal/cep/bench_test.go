@@ -1,0 +1,51 @@
+package cep
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkInsertGroupedTimeWindow(b *testing.B) {
+	now := time.Duration(0)
+	e := New(func() time.Duration { return now })
+	e.MustCompile("select path, count(*) as cnt from Access.win:time(300 s) " +
+		"where cmd = 'open' group by path")
+	paths := []string{"/a", "/b", "/c", "/d", "/e"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = time.Duration(i) * time.Millisecond
+		e.Insert(Event{
+			Time: now, Type: "Access",
+			Fields: map[string]any{"path": paths[i%len(paths)], "cmd": "open"},
+		})
+	}
+}
+
+func BenchmarkRowsEvaluation(b *testing.B) {
+	now := time.Hour
+	e := New(func() time.Duration { return now })
+	st := e.MustCompile("select path, count(*) as cnt, max(__time) as last " +
+		"from Access.win:time(3600 s) group by path having cnt > 5")
+	for i := 0; i < 10000; i++ {
+		e.Insert(Event{
+			Time: time.Duration(i) * 300 * time.Millisecond, Type: "Access",
+			Fields: map[string]any{"path": "/f" + string(rune('a'+i%20)), "cmd": "open"},
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Rows(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseQuery(b *testing.B) {
+	const q = "select path, count(*) as cnt, avg(bytes) as ab from Access.win:time(60 s) " +
+		"where cmd = 'open' and path != '/tmp' group by path having cnt > 10"
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package cep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Engine routes inserted events to compiled statements. It reads the
+// current virtual time from the clock function when pruning time windows.
+type Engine struct {
+	clock      func() time.Duration
+	statements map[string][]*Statement // by event type
+	inserted   uint64
+}
+
+// New creates an engine. clock supplies the current (virtual) time.
+func New(clock func() time.Duration) *Engine {
+	if clock == nil {
+		panic("cep: nil clock")
+	}
+	return &Engine{clock: clock, statements: make(map[string][]*Statement)}
+}
+
+// Inserted returns the number of events accepted so far.
+func (e *Engine) Inserted() uint64 { return e.inserted }
+
+// Compile parses an EPL statement and registers it with the engine.
+func (e *Engine) Compile(epl string) (*Statement, error) {
+	q, err := ParseQuery(epl)
+	if err != nil {
+		return nil, err
+	}
+	s := &Statement{engine: e, query: q}
+	e.statements[q.From] = append(e.statements[q.From], s)
+	return s, nil
+}
+
+// MustCompile is Compile for statically known statements; it panics on
+// parse errors.
+func (e *Engine) MustCompile(epl string) *Statement {
+	s, err := e.Compile(epl)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Insert dispatches an event to every statement reading its type. Events
+// failing a statement's where clause are not retained by that statement.
+func (e *Engine) Insert(ev Event) error {
+	e.inserted++
+	for _, s := range e.statements[ev.Type] {
+		if err := s.insert(&ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Statement is a registered continuous query plus its retained window.
+type Statement struct {
+	engine *Engine
+	query  *Query
+	window []*Event
+	closed bool
+}
+
+// Close deregisters the statement: it stops receiving events and releases
+// its retained window. Closing twice is a no-op.
+func (s *Statement) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.window = nil
+	regs := s.engine.statements[s.query.From]
+	for i, st := range regs {
+		if st == s {
+			s.engine.statements[s.query.From] = append(regs[:i], regs[i+1:]...)
+			break
+		}
+	}
+}
+
+// Closed reports whether Close was called.
+func (s *Statement) Closed() bool { return s.closed }
+
+// Query returns the parsed form of the statement.
+func (s *Statement) Query() *Query { return s.query }
+
+// WindowSize returns the number of currently retained events (after pruning
+// expired ones).
+func (s *Statement) WindowSize() int {
+	s.prune()
+	return len(s.window)
+}
+
+func (s *Statement) insert(ev *Event) error {
+	if s.query.Where != nil {
+		v, err := s.query.Where.eval(ev, nil)
+		if err != nil {
+			return fmt.Errorf("cep: where clause: %w", err)
+		}
+		keep, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("cep: where clause is not boolean")
+		}
+		if !keep {
+			return nil
+		}
+	}
+	s.window = append(s.window, ev)
+	if s.query.Window.Kind == WindowLength && len(s.window) > s.query.Window.N {
+		// Drop oldest; copy to avoid retaining the backing array head.
+		copy(s.window, s.window[len(s.window)-s.query.Window.N:])
+		s.window = s.window[:s.query.Window.N]
+	}
+	return nil
+}
+
+func (s *Statement) prune() {
+	if s.query.Window.Kind != WindowTime {
+		return
+	}
+	// The window is inclusive at its trailing edge: an event aged exactly
+	// Dur is still visible, so a periodic evaluator with period == window
+	// never loses the events of the instant it last ran.
+	cutoff := s.engine.clock() - s.query.Window.Dur
+	i := 0
+	for i < len(s.window) && s.window[i].Time < cutoff {
+		i++
+	}
+	if i > 0 {
+		copy(s.window, s.window[i:])
+		s.window = s.window[:len(s.window)-i]
+	}
+}
+
+// Rows evaluates the statement now and returns one row per surviving group
+// (or a single row for ungrouped aggregates, or one row per event for
+// non-aggregated selects). Group order is the order groups first appeared,
+// so output is deterministic.
+func (s *Statement) Rows() ([]Row, error) {
+	s.prune()
+	q := s.query
+	grouped := len(q.GroupBy) > 0
+	hasAgg := q.Having != nil
+	for _, it := range q.Select {
+		if it.Expr.hasAggregate() {
+			hasAgg = true
+		}
+	}
+
+	if !grouped && !hasAgg {
+		// Row per event.
+		rows := make([]Row, 0, len(s.window))
+		var scopes []rowScope
+		for _, ev := range s.window {
+			row, err := s.project(ev, nil)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			scopes = append(scopes, rowScope{rep: ev})
+		}
+		return s.orderAndLimit(rows, scopes)
+	}
+
+	// Build groups. Ungrouped aggregate queries form a single group over
+	// the whole window.
+	type groupState struct {
+		key    string
+		events []*Event
+	}
+	var order []string
+	groups := map[string]*groupState{}
+	if !grouped {
+		if len(s.window) == 0 {
+			return nil, nil
+		}
+		groups[""] = &groupState{events: s.window}
+		order = []string{""}
+	} else {
+		for _, ev := range s.window {
+			key, err := s.groupKey(ev)
+			if err != nil {
+				return nil, err
+			}
+			g := groups[key]
+			if g == nil {
+				g = &groupState{key: key}
+				groups[key] = g
+				order = append(order, key)
+			}
+			g.events = append(g.events, ev)
+		}
+	}
+
+	var rows []Row
+	var scopes []rowScope
+	for _, key := range order {
+		g := groups[key]
+		rep := g.events[len(g.events)-1] // representative for field refs
+		if q.Having != nil {
+			v, err := s.evalAliased(q.Having, rep, g.events)
+			if err != nil {
+				return nil, fmt.Errorf("cep: having clause: %w", err)
+			}
+			pass, ok := v.(bool)
+			if !ok {
+				return nil, fmt.Errorf("cep: having clause is not boolean")
+			}
+			if !pass {
+				continue
+			}
+		}
+		row, err := s.project(rep, g.events)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		scopes = append(scopes, rowScope{rep: rep, group: g.events})
+	}
+	return s.orderAndLimit(rows, scopes)
+}
+
+// rowScope carries the evaluation context a row was produced from, so
+// order-by keys can be computed against it.
+type rowScope struct {
+	rep   *Event
+	group []*Event
+}
+
+// orderAndLimit applies the statement's order-by keys (alias-aware, like
+// having) and the limit clause.
+func (s *Statement) orderAndLimit(rows []Row, scopes []rowScope) ([]Row, error) {
+	q := s.query
+	if len(q.OrderBy) > 0 && len(rows) > 1 {
+		type keyed struct {
+			row  Row
+			keys []any
+		}
+		ks := make([]keyed, len(rows))
+		for i := range rows {
+			ks[i] = keyed{row: rows[i]}
+			for _, spec := range q.OrderBy {
+				v, err := s.evalAliased(spec.Expr, scopes[i].rep, scopes[i].group)
+				if err != nil {
+					return nil, fmt.Errorf("cep: order by: %w", err)
+				}
+				ks[i].keys = append(ks[i].keys, v)
+			}
+		}
+		sort.SliceStable(ks, func(a, b int) bool {
+			for k, spec := range q.OrderBy {
+				cmp := compareValues(ks[a].keys[k], ks[b].keys[k])
+				if cmp == 0 {
+					continue
+				}
+				if spec.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		for i := range ks {
+			rows[i] = ks[i].row
+		}
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return rows, nil
+}
+
+// compareValues orders two order-by keys: numbers numerically, strings
+// lexically, mixed/null via their printed form.
+func compareValues(a, b any) int {
+	if af, ok := toFloat(a); ok {
+		if bf, ok2 := toFloat(b); ok2 {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			}
+			return 0
+		}
+	}
+	as, aok := a.(string)
+	bs, bok := b.(string)
+	if !aok || !bok {
+		as, bs = fmt.Sprint(a), fmt.Sprint(b)
+	}
+	return strings.Compare(as, bs)
+}
+
+// MustRows is Rows but panics on evaluation errors; statements used by the
+// Data Judge are validated at compile time, so errors indicate bugs.
+func (s *Statement) MustRows() []Row {
+	rows, err := s.Rows()
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
+
+func (s *Statement) project(rep *Event, group []*Event) (Row, error) {
+	row := make(Row, len(s.query.Select))
+	for _, it := range s.query.Select {
+		v, err := it.Expr.eval(rep, group)
+		if err != nil {
+			return nil, err
+		}
+		row[it.Alias] = v
+	}
+	return row, nil
+}
+
+// evalAliased evaluates an expression, first substituting select aliases:
+// "having cnt > 10" refers to "count(*) as cnt".
+func (s *Statement) evalAliased(e Expr, rep *Event, group []*Event) (any, error) {
+	if f, ok := e.(*fieldExpr); ok {
+		for _, it := range s.query.Select {
+			if it.Alias == f.name {
+				return it.Expr.eval(rep, group)
+			}
+		}
+	}
+	switch x := e.(type) {
+	case *binaryExpr:
+		l, err := s.evalAliased(x.left, rep, group)
+		if err != nil {
+			return nil, err
+		}
+		// Rebuild a literal-left binary node to reuse operator logic.
+		tmp := &binaryExpr{op: x.op, left: &litExpr{val: l}, right: aliasThunk{s, x.right, rep, group}}
+		return tmp.eval(rep, group)
+	case *unaryExpr:
+		tmp := &unaryExpr{op: x.op, sub: aliasThunk{s, x.sub, rep, group}}
+		return tmp.eval(rep, group)
+	default:
+		return e.eval(rep, group)
+	}
+}
+
+// aliasThunk defers alias-aware evaluation of a subtree.
+type aliasThunk struct {
+	s     *Statement
+	sub   Expr
+	rep   *Event
+	group []*Event
+}
+
+func (a aliasThunk) eval(*Event, []*Event) (any, error) {
+	return a.s.evalAliased(a.sub, a.rep, a.group)
+}
+func (a aliasThunk) hasAggregate() bool { return a.sub.hasAggregate() }
+func (a aliasThunk) text() string       { return a.sub.text() }
+
+func (s *Statement) groupKey(ev *Event) (string, error) {
+	var b strings.Builder
+	for i, g := range s.query.GroupBy {
+		if i > 0 {
+			b.WriteByte('\x00')
+		}
+		v, err := g.eval(ev, nil)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%v", v)
+	}
+	return b.String(), nil
+}

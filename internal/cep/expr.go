@@ -1,0 +1,296 @@
+package cep
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Expr is a compiled expression node. Row-level evaluation resolves field
+// references against a single event; group-level evaluation additionally
+// resolves aggregate nodes against the group's event set.
+type Expr interface {
+	// eval computes the expression. ev is the representative event for
+	// field references (the group's last event during grouped evaluation).
+	// group is nil during row-level (where-clause) evaluation; aggregates
+	// are then illegal.
+	eval(ev *Event, group []*Event) (any, error)
+	// hasAggregate reports whether the subtree contains an aggregate call.
+	hasAggregate() bool
+	// text returns the canonical source form (used as a default alias).
+	text() string
+}
+
+type litExpr struct {
+	val any
+	src string
+}
+
+func (l *litExpr) eval(*Event, []*Event) (any, error) { return l.val, nil }
+func (l *litExpr) hasAggregate() bool                 { return false }
+func (l *litExpr) text() string                       { return l.src }
+
+type fieldExpr struct{ name string }
+
+func (f *fieldExpr) eval(ev *Event, _ []*Event) (any, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("cep: field %q referenced with no event in scope", f.name)
+	}
+	v, ok := ev.Field(f.name)
+	if !ok {
+		return nil, nil // missing field evaluates to null
+	}
+	return v, nil
+}
+func (f *fieldExpr) hasAggregate() bool { return false }
+func (f *fieldExpr) text() string       { return f.name }
+
+type unaryExpr struct {
+	op  string // "not" or "-"
+	sub Expr
+}
+
+func (u *unaryExpr) eval(ev *Event, g []*Event) (any, error) {
+	v, err := u.sub.eval(ev, g)
+	if err != nil {
+		return nil, err
+	}
+	switch u.op {
+	case "not":
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("cep: not applied to non-boolean %T", v)
+		}
+		return !b, nil
+	case "-":
+		f, ok := toFloat(v)
+		if !ok {
+			return nil, fmt.Errorf("cep: unary minus on non-number %T", v)
+		}
+		return -f, nil
+	}
+	return nil, fmt.Errorf("cep: unknown unary op %q", u.op)
+}
+func (u *unaryExpr) hasAggregate() bool { return u.sub.hasAggregate() }
+func (u *unaryExpr) text() string       { return u.op + " " + u.sub.text() }
+
+type binaryExpr struct {
+	op          string
+	left, right Expr
+}
+
+func (b *binaryExpr) eval(ev *Event, g []*Event) (any, error) {
+	l, err := b.left.eval(ev, g)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit booleans.
+	switch b.op {
+	case "and":
+		lb, ok := l.(bool)
+		if !ok {
+			return nil, fmt.Errorf("cep: 'and' on non-boolean %T", l)
+		}
+		if !lb {
+			return false, nil
+		}
+		r, err := b.right.eval(ev, g)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, fmt.Errorf("cep: 'and' on non-boolean %T", r)
+		}
+		return rb, nil
+	case "or":
+		lb, ok := l.(bool)
+		if !ok {
+			return nil, fmt.Errorf("cep: 'or' on non-boolean %T", l)
+		}
+		if lb {
+			return true, nil
+		}
+		r, err := b.right.eval(ev, g)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, fmt.Errorf("cep: 'or' on non-boolean %T", r)
+		}
+		return rb, nil
+	}
+	r, err := b.right.eval(ev, g)
+	if err != nil {
+		return nil, err
+	}
+	switch b.op {
+	case "=", "!=":
+		eq := looseEqual(l, r)
+		if b.op == "=" {
+			return eq, nil
+		}
+		return !eq, nil
+	case "<", "<=", ">", ">=":
+		return compare(b.op, l, r)
+	case "+", "-", "*", "/":
+		lf, ok1 := toFloat(l)
+		rf, ok2 := toFloat(r)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("cep: arithmetic on non-numbers %T %s %T", l, b.op, r)
+		}
+		switch b.op {
+		case "+":
+			return lf + rf, nil
+		case "-":
+			return lf - rf, nil
+		case "*":
+			return lf * rf, nil
+		case "/":
+			if rf == 0 {
+				return nil, fmt.Errorf("cep: division by zero")
+			}
+			return lf / rf, nil
+		}
+	}
+	return nil, fmt.Errorf("cep: unknown operator %q", b.op)
+}
+
+func (b *binaryExpr) hasAggregate() bool {
+	return b.left.hasAggregate() || b.right.hasAggregate()
+}
+func (b *binaryExpr) text() string {
+	return fmt.Sprintf("(%s %s %s)", b.left.text(), b.op, b.right.text())
+}
+
+func looseEqual(l, r any) bool {
+	if lf, ok := toFloat(l); ok {
+		if rf, ok2 := toFloat(r); ok2 {
+			return lf == rf
+		}
+		return false
+	}
+	ls, lok := l.(string)
+	rs, rok := r.(string)
+	if lok && rok {
+		return ls == rs
+	}
+	return l == r
+}
+
+func compare(op string, l, r any) (any, error) {
+	var cmp float64
+	if lf, ok := toFloat(l); ok {
+		rf, ok2 := toFloat(r)
+		if !ok2 {
+			return nil, fmt.Errorf("cep: comparing number with %T", r)
+		}
+		cmp = lf - rf
+	} else if ls, ok := l.(string); ok {
+		rs, ok2 := r.(string)
+		if !ok2 {
+			return nil, fmt.Errorf("cep: comparing string with %T", r)
+		}
+		cmp = float64(strings.Compare(ls, rs))
+	} else {
+		return nil, fmt.Errorf("cep: unorderable type %T", l)
+	}
+	switch op {
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	}
+	return nil, fmt.Errorf("cep: unknown comparison %q", op)
+}
+
+// aggExpr is an aggregate call: count(*), count(f), sum(f), avg(f), min(f),
+// max(f), first(f), last(f).
+type aggExpr struct {
+	fn   string
+	arg  Expr // nil for count(*)
+	star bool
+}
+
+func (a *aggExpr) hasAggregate() bool { return true }
+
+func (a *aggExpr) text() string {
+	if a.star {
+		return a.fn + "(*)"
+	}
+	return a.fn + "(" + a.arg.text() + ")"
+}
+
+func (a *aggExpr) eval(_ *Event, group []*Event) (any, error) {
+	if group == nil {
+		return nil, fmt.Errorf("cep: aggregate %s outside grouped evaluation", a.text())
+	}
+	if a.fn == "count" && a.star {
+		return float64(len(group)), nil
+	}
+	switch a.fn {
+	case "first", "last":
+		if len(group) == 0 {
+			return nil, nil
+		}
+		ev := group[0]
+		if a.fn == "last" {
+			ev = group[len(group)-1]
+		}
+		return a.arg.eval(ev, nil)
+	}
+	var (
+		n   int
+		sum float64
+		min = math.Inf(1)
+		max = math.Inf(-1)
+	)
+	for _, ev := range group {
+		v, err := a.arg.eval(ev, nil)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		f, ok := toFloat(v)
+		if !ok {
+			return nil, fmt.Errorf("cep: %s over non-numeric field", a.fn)
+		}
+		n++
+		sum += f
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	switch a.fn {
+	case "count":
+		return float64(n), nil
+	case "sum":
+		return sum, nil
+	case "avg":
+		if n == 0 {
+			return nil, nil
+		}
+		return sum / float64(n), nil
+	case "min":
+		if n == 0 {
+			return nil, nil
+		}
+		return min, nil
+	case "max":
+		if n == 0 {
+			return nil, nil
+		}
+		return max, nil
+	}
+	return nil, fmt.Errorf("cep: unknown aggregate %q", a.fn)
+}

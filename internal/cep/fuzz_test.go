@@ -1,0 +1,34 @@
+package cep
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseQuery: the EPL parser must never panic, and any accepted query
+// must be executable against a few events without panicking.
+func FuzzParseQuery(f *testing.F) {
+	f.Add("select path, count(*) as cnt from Access.win:time(60 s) where cmd = 'open' group by path having cnt > 10 order by cnt desc limit 3")
+	f.Add("select x from S")
+	f.Add("select count(*) from S.win:length(5)")
+	f.Add("select a + b * -c from S where not (a = 1 or b != 2)")
+	f.Add("select 'str' from S.win:keepall limit 1")
+	f.Add("")
+	f.Add("select from where")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		eng := New(func() time.Duration { return 0 })
+		st := &Statement{engine: eng, query: q}
+		eng.statements[q.From] = append(eng.statements[q.From], st)
+		for i := 0; i < 3; i++ {
+			// Insert/eval errors are fine; panics are not.
+			_ = eng.Insert(Event{Type: q.From, Fields: map[string]any{
+				"a": float64(i), "b": "s", "c": true,
+			}})
+		}
+		_, _ = st.Rows()
+	})
+}

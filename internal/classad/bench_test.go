@@ -1,0 +1,43 @@
+package classad
+
+import "testing"
+
+func BenchmarkParseExpr(b *testing.B) {
+	const src = `target.Rack == my.WantRack && target.State == "active" && target.FreeGB > 100`
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseExpr(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchmaking(b *testing.B) {
+	job := NewClassAd().
+		Set("WantRack", 2).
+		Set("ImageSize", 4096).
+		SetExprString("Requirements",
+			`target.Rack == my.WantRack && target.Memory >= my.ImageSize`).
+		SetExprString("Rank", "target.FreeGB")
+	machines := make([]*ClassAd, 18)
+	for i := range machines {
+		machines[i] = NewClassAd().
+			Set("Rack", i%3).
+			Set("Memory", 8192).
+			Set("FreeGB", 100+i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best, rank := -1, -1.0
+		for k, m := range machines {
+			if !Match(job, m) {
+				continue
+			}
+			if r := RankOf(job, m); r > rank {
+				best, rank = k, r
+			}
+		}
+		if best < 0 {
+			b.Fatal("no match")
+		}
+	}
+}

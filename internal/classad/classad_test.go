@@ -1,0 +1,356 @@
+package classad
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalStr(t *testing.T, src string) Value {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return NewClassAd().EvalExpr(e, nil)
+}
+
+func TestLiteralEval(t *testing.T) {
+	cases := map[string]Value{
+		"42":               Num(42),
+		"3.5":              Num(3.5),
+		`"hello"`:          Str("hello"),
+		"true":             True,
+		"false":            False,
+		"undefined":        Undefined,
+		"error":            ErrorVal,
+		"{1, 2, 3}":        ListOf(Num(1), Num(2), Num(3)),
+		"1 + 2 * 3":        Num(7),
+		"(1 + 2) * 3":      Num(9),
+		"10 / 4":           Num(2.5),
+		"10 % 3":           Num(1),
+		"-5 + 2":           Num(-3),
+		"!true":            False,
+		"2 < 3":            True,
+		"2 >= 3":           False,
+		`"a" == "A"`:       True, // Condor strings compare case-insensitively
+		`"a" < "b"`:        True,
+		`"x" + "y"`:        Str("xy"),
+		"true && false":    False,
+		"true || false":    True,
+		"1 == 1 ? 10 : 20": Num(10),
+		"false ? 10 : 20":  Num(20),
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src); !got.SameAs(want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	cases := map[string]Value{
+		"undefined && true":       Undefined,
+		"undefined && false":      False, // definite false dominates
+		"false && undefined":      False,
+		"undefined || true":       True, // definite true dominates
+		"true || undefined":       True,
+		"undefined || false":      Undefined,
+		"undefined == 1":          Undefined,
+		"undefined + 1":           Undefined,
+		"error && false":          False,
+		"error && true":           ErrorVal,
+		"1/0":                     ErrorVal,
+		"1/0 == 1":                ErrorVal,
+		"undefined =?= undefined": True,
+		"undefined =?= 1":         False,
+		"1 =?= 1":                 True,
+		`1 =?= "1"`:               False, // meta-equality is type-strict
+		"1 =!= 2":                 True,
+		"!undefined":              Undefined,
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src); !got.SameAs(want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	cases := map[string]Value{
+		`member("b", {"a", "b"})`:  True,
+		`member("z", {"a", "b"})`:  False,
+		`member(undefined, {"a"})`: Undefined,
+		`member(1, 2)`:             ErrorVal,
+		`size({1, 2, 3})`:          Num(3),
+		`size("abcd")`:             Num(4),
+		`size(5)`:                  ErrorVal,
+		`strcat("a", "b", 3)`:      Str("ab3"),
+		`floor(3.9)`:               Num(3),
+		`ifthenelse(true, 1, 2)`:   Num(1),
+		`ifthenelse(false, 1, 2)`:  Num(2),
+		`isundefined(undefined)`:   True,
+		`isundefined(3)`:           False,
+		`nosuchfn(1)`:              ErrorVal,
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src); !got.SameAs(want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestAttributeLookupAndScopes(t *testing.T) {
+	machine := NewClassAd().
+		Set("Name", "dn07").
+		Set("Rack", 2).
+		Set("State", "standby").
+		Set("FreeGB", 120.0)
+	job := NewClassAd().
+		Set("WantRack", 2).
+		SetExprString("Requirements", `target.Rack == my.WantRack && target.State == "standby"`)
+
+	if !job.Eval(Requirements, machine).IsTrue() {
+		t.Fatal("requirements should match")
+	}
+	machine.Set("State", "active")
+	if job.Eval(Requirements, machine).IsTrue() {
+		t.Fatal("requirements should fail after state change")
+	}
+	// Bare attribute resolves MY first, then TARGET.
+	probe := MustParseExpr("FreeGB")
+	if got := job.EvalExpr(probe, machine); !got.SameAs(Num(120)) {
+		t.Fatalf("bare lookup fell through wrong: %v", got)
+	}
+	// Case-insensitivity.
+	if got := machine.Eval("rack", nil); !got.SameAs(Num(2)) {
+		t.Fatalf("case-insensitive lookup: %v", got)
+	}
+	// Missing -> undefined.
+	if got := machine.Eval("nope", nil); got.Kind != KindUndefined {
+		t.Fatalf("missing attr: %v", got)
+	}
+}
+
+func TestAttributeChains(t *testing.T) {
+	ad := NewClassAd().
+		Set("a", 1).
+		SetExprString("b", "a + 1").
+		SetExprString("c", "b * 2")
+	if got := ad.Eval("c", nil); !got.SameAs(Num(4)) {
+		t.Fatalf("chained eval = %v", got)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	ad := NewClassAd().
+		SetExprString("a", "b").
+		SetExprString("b", "a")
+	if got := ad.Eval("a", nil); got.Kind != KindError {
+		t.Fatalf("cycle should evaluate to error, got %v", got)
+	}
+}
+
+func TestMatchSymmetric(t *testing.T) {
+	machine := NewClassAd().
+		Set("Memory", 8192).
+		SetExprString("Requirements", "target.ImageSize <= my.Memory")
+	job := NewClassAd().
+		Set("ImageSize", 4096).
+		SetExprString("Requirements", "target.Memory >= 2048")
+	if !Match(job, machine) {
+		t.Fatal("should match")
+	}
+	job.Set("ImageSize", 100000)
+	if Match(job, machine) {
+		t.Fatal("machine requirements violated; should not match")
+	}
+	// Missing Requirements counts as unconstrained.
+	free := NewClassAd()
+	if !Match(free, NewClassAd()) {
+		t.Fatal("unconstrained ads should match")
+	}
+}
+
+func TestRank(t *testing.T) {
+	job := NewClassAd().SetExprString("Rank", "target.FreeGB")
+	m1 := NewClassAd().Set("FreeGB", 10)
+	m2 := NewClassAd().Set("FreeGB", 50)
+	if RankOf(job, m1) >= RankOf(job, m2) {
+		t.Fatal("rank ordering wrong")
+	}
+	if RankOf(NewClassAd(), m1) != 0 {
+		t.Fatal("missing rank should default to 0")
+	}
+}
+
+func TestParseFullAd(t *testing.T) {
+	ad, err := Parse(`[
+		Name = "dn01";
+		Rack = 1;
+		Standby = true;
+		Requirements = target.Rack == my.Rack;
+		Tags = {"ssd", "fast"}
+	]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Len() != 5 {
+		t.Fatalf("Len = %d", ad.Len())
+	}
+	if !ad.Eval("Standby", nil).IsTrue() {
+		t.Fatal("standby")
+	}
+	if got := ad.Eval("Tags", nil); got.Kind != KindList || len(got.List) != 2 {
+		t.Fatalf("tags = %v", got)
+	}
+}
+
+func TestParseAdErrors(t *testing.T) {
+	for _, src := range []string{
+		"noequals",
+		"a = ",
+		`a = "unterminated`,
+		"a b = 3",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "1 +", "(1", "{1,", "member(1,", "a ? 1", "1 @ 2", "my.",
+	} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Fatalf("ParseExpr(%q) accepted", src)
+		}
+	}
+}
+
+func TestAdStringRoundTrip(t *testing.T) {
+	ad := NewClassAd().
+		Set("Name", "dn01").
+		Set("Rack", 3).
+		SetExprString("Requirements", "target.Rack == 3")
+	s := ad.String()
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	if back.Len() != ad.Len() {
+		t.Fatalf("round trip lost attributes: %q", s)
+	}
+	if !strings.Contains(s, "Name") {
+		t.Fatalf("original spelling lost: %q", s)
+	}
+	machine := NewClassAd().Set("Rack", 3)
+	if !back.Eval(Requirements, machine).IsTrue() {
+		t.Fatal("reparsed requirements broken")
+	}
+}
+
+func TestSetVariants(t *testing.T) {
+	ad := NewClassAd().
+		Set("i", 7).
+		Set("i64", int64(8)).
+		Set("f", 2.5).
+		Set("b", true).
+		Set("s", "x").
+		Set("list", []string{"a", "b"}).
+		Set("v", Num(1))
+	if !ad.Eval("i", nil).SameAs(Num(7)) || !ad.Eval("i64", nil).SameAs(Num(8)) {
+		t.Fatal("int set")
+	}
+	if got := ad.Eval("list", nil); got.Kind != KindList || len(got.List) != 2 {
+		t.Fatal("list set")
+	}
+	ad.Delete("i")
+	if ad.Has("i") {
+		t.Fatal("delete")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsupported type should panic")
+		}
+	}()
+	ad.Set("bad", struct{}{})
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"undefined": Undefined,
+		"error":     ErrorVal,
+		"true":      True,
+		"42":        Num(42),
+		"2.5":       Num(2.5),
+		`"s"`:       Str("s"),
+		`{1, "a"}`:  ListOf(Num(1), Str("a")),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: numeric arithmetic in ClassAds agrees with Go arithmetic.
+func TestQuickArithmetic(t *testing.T) {
+	f := func(a, b int16) bool {
+		ad := NewClassAd().Set("a", float64(a)).Set("b", float64(b))
+		sum := ad.EvalExpr(MustParseExpr("a + b"), nil)
+		prod := ad.EvalExpr(MustParseExpr("a * b"), nil)
+		return sum.SameAs(Num(float64(a)+float64(b))) &&
+			prod.SameAs(Num(float64(a)*float64(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Match is symmetric in its definition — Match(a,b) == Match(b,a).
+func TestQuickMatchSymmetry(t *testing.T) {
+	f := func(x, y uint8, needX, needY uint8) bool {
+		a := NewClassAd().Set("v", int(x)).
+			SetExprString("Requirements", "target.v >= "+itoa(int(needX)))
+		b := NewClassAd().Set("v", int(y)).
+			SetExprString("Requirements", "target.v >= "+itoa(int(needY)))
+		return Match(a, b) == Match(b, a) &&
+			Match(a, b) == (int(y) >= int(needX) && int(x) >= int(needY))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestRegexpAndStringListBuiltins(t *testing.T) {
+	cases := map[string]Value{
+		`regexp("^dn[0-9]+$", "dn07")`:        True,
+		`regexp("^dn[0-9]+$", "rack1")`:       False,
+		`regexp("^dn", undefined)`:            Undefined,
+		`regexp("[invalid", "x")`:             ErrorVal,
+		`regexp(3, "x")`:                      ErrorVal,
+		`stringListMember("ssd", "hdd,ssd")`:  True,
+		`stringListMember("SSD", "hdd, ssd")`: True, // case-insensitive, trimmed
+		`stringListMember("nvme", "hdd,ssd")`: False,
+		`stringListMember(1, "a")`:            ErrorVal,
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src); !got.SameAs(want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package classad_test
+
+import (
+	"fmt"
+
+	"erms/internal/classad"
+)
+
+// Matching a replication job against datanode machine ads, as ERMS's
+// Condor scheduler does.
+func Example() {
+	job := classad.NewClassAd().
+		Set("WantStandby", true).
+		SetExprString("Requirements",
+			`target.Standby == my.WantStandby && target.FreeGB > 50`).
+		SetExprString("Rank", "target.FreeGB")
+
+	machines := []*classad.ClassAd{
+		classad.NewClassAd().Set("Name", "dn03").Set("Standby", false).Set("FreeGB", 400),
+		classad.NewClassAd().Set("Name", "dn11").Set("Standby", true).Set("FreeGB", 120),
+		classad.NewClassAd().Set("Name", "dn12").Set("Standby", true).Set("FreeGB", 200),
+	}
+	bestRank := -1.0
+	var best *classad.ClassAd
+	for _, m := range machines {
+		if !classad.Match(job, m) {
+			continue
+		}
+		if r := classad.RankOf(job, m); r > bestRank {
+			best, bestRank = m, r
+		}
+	}
+	fmt.Println("placed on", best.Eval("Name", nil).Str)
+	// Output:
+	// placed on dn12
+}

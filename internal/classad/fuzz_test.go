@@ -1,0 +1,48 @@
+package classad
+
+import "testing"
+
+// FuzzParseExpr: the ClassAd expression parser must never panic, and any
+// accepted expression must evaluate (to any Value, including error)
+// without panicking, in and out of a matchmaking context.
+func FuzzParseExpr(f *testing.F) {
+	f.Add(`target.Rack == my.WantRack && target.State == "active"`)
+	f.Add(`member("b", {"a", "b"}) ? 1 + 2 : size("xy")`)
+	f.Add(`regexp("^dn[0-9]+$", Name)`)
+	f.Add(`1 =?= "1"`)
+	f.Add(`a % 0`)
+	f.Add(``)
+	f.Add(`((((`)
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		my := NewClassAd().Set("Name", "dn01").Set("WantRack", 1)
+		target := NewClassAd().Set("Rack", 1).Set("State", "active")
+		_ = my.EvalExpr(e, target)
+		_ = my.EvalExpr(e, nil)
+		// The canonical rendering must itself reparse.
+		if _, err := ParseExpr(e.String()); err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", e.String(), err)
+		}
+	})
+}
+
+// FuzzParseAd: full-ad parsing must never panic and accepted ads must
+// render and reparse.
+func FuzzParseAd(f *testing.F) {
+	f.Add(`[ Name = "dn01"; Rack = 1; Requirements = target.Rack == my.Rack ]`)
+	f.Add(`a = 1`)
+	f.Add(`x = {1, "two", true}`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, src string) {
+		ad, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(ad.String()); err != nil {
+			t.Fatalf("ad rendering %q does not reparse: %v", ad.String(), err)
+		}
+	})
+}

@@ -1,0 +1,404 @@
+// Package condor reimplements the slice of Condor that ERMS relies on: a
+// job queue matched to machine ClassAds by a periodic negotiator, a
+// priority split between run-immediately jobs (replica increases, erasure
+// decodes) and run-when-idle jobs (replica decreases, erasure encodes), a
+// user log recording every job event for replay, and automatic rollback of
+// failed jobs.
+package condor
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"erms/internal/classad"
+	"erms/internal/sim"
+)
+
+// Class splits jobs by urgency, mirroring the paper: "It schedules the
+// increasing replication tasks and erasure decoding tasks immediately,
+// while run the decreasing replication tasks and erasure encoding tasks
+// when the HDFS cluster is idle."
+type Class int
+
+const (
+	// ClassImmediate jobs run at the next negotiation regardless of load.
+	ClassImmediate Class = iota
+	// ClassIdle jobs run only while the idle probe reports the cluster idle.
+	ClassIdle
+)
+
+func (c Class) String() string {
+	if c == ClassImmediate {
+		return "immediate"
+	}
+	return "idle"
+}
+
+// State is a job's lifecycle state.
+type State int
+
+// Job states. Failed jobs whose Rollback ran become RolledBack.
+const (
+	StatePending State = iota
+	StateRunning
+	StateCompleted
+	StateFailed
+	StateRolledBack
+	StateAborted
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateCompleted:
+		return "completed"
+	case StateFailed:
+		return "failed"
+	case StateRolledBack:
+		return "rolled-back"
+	case StateAborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// Job is one schedulable management task.
+type Job struct {
+	ID    int
+	Name  string
+	Class Class
+	// Ad carries Requirements/Rank evaluated against machine ads. A nil Ad
+	// matches any machine.
+	Ad *classad.ClassAd
+	// Run executes the task on the chosen machine. It must eventually call
+	// done exactly once (possibly after simulated delays). A nil error
+	// completes the job; otherwise the job fails and Rollback (if any) runs.
+	Run func(m *Machine, done func(error))
+	// Rollback undoes a failed job's partial effects.
+	Rollback func()
+
+	State      State
+	SubmitTime time.Duration
+	StartTime  time.Duration
+	EndTime    time.Duration
+	Err        error
+	MachineID  string
+}
+
+// Machine is an execution target advertised to the scheduler.
+type Machine struct {
+	Name  string
+	Ad    *classad.ClassAd
+	Slots int
+	busy  int
+	gone  bool
+}
+
+// Free returns the number of available slots.
+func (m *Machine) Free() int { return m.Slots - m.busy }
+
+// EventKind labels user log entries.
+type EventKind string
+
+// User log event kinds (mirroring Condor's job event log).
+const (
+	EventSubmit    EventKind = "submit"
+	EventExecute   EventKind = "execute"
+	EventTerminate EventKind = "terminate"
+	EventFail      EventKind = "fail"
+	EventRollback  EventKind = "rollback"
+	EventAbort     EventKind = "abort"
+)
+
+// LogEvent is one user log record.
+type LogEvent struct {
+	Time    time.Duration
+	JobID   int
+	JobName string
+	Kind    EventKind
+	Detail  string
+}
+
+func (e LogEvent) String() string {
+	return fmt.Sprintf("%012.3fs job=%d (%s) %s %s",
+		e.Time.Seconds(), e.JobID, e.JobName, e.Kind, e.Detail)
+}
+
+// Scheduler is the negotiator plus queue.
+type Scheduler struct {
+	engine    *sim.Engine
+	machines  map[string]*Machine
+	order     []string // machine registration order, for determinism
+	queue     []*Job
+	running   int
+	nextID    int
+	idleProbe func() bool
+	log       []LogEvent
+	ticker    *sim.Ticker
+	kick      *sim.Event
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// NegotiationPeriod is how often the negotiator matches pending jobs;
+	// default 5s of virtual time.
+	NegotiationPeriod time.Duration
+	// IdleProbe reports whether the cluster is idle enough for ClassIdle
+	// jobs; nil means always idle.
+	IdleProbe func() bool
+}
+
+// New creates a scheduler running on the simulation engine.
+func New(engine *sim.Engine, cfg Config) *Scheduler {
+	if cfg.NegotiationPeriod <= 0 {
+		cfg.NegotiationPeriod = 5 * time.Second
+	}
+	if cfg.IdleProbe == nil {
+		cfg.IdleProbe = func() bool { return true }
+	}
+	s := &Scheduler{
+		engine:    engine,
+		machines:  make(map[string]*Machine),
+		idleProbe: cfg.IdleProbe,
+	}
+	s.ticker = sim.NewTicker(engine, cfg.NegotiationPeriod, func(time.Duration) {
+		s.negotiate()
+	})
+	return s
+}
+
+// Stop halts the negotiation cycle (end of simulation).
+func (s *Scheduler) Stop() { s.ticker.Stop() }
+
+// Advertise registers (commissions) a machine. Re-advertising an existing
+// name updates its ad. This is the ClassAd mechanism the paper uses "to
+// detect when datanodes are commissioned or decommissioned".
+func (s *Scheduler) Advertise(name string, ad *classad.ClassAd, slots int) *Machine {
+	if slots <= 0 {
+		slots = 1
+	}
+	if m, ok := s.machines[name]; ok && !m.gone {
+		m.Ad = ad
+		m.Slots = slots
+		return m
+	}
+	m := &Machine{Name: name, Ad: ad, Slots: slots}
+	s.machines[name] = m
+	s.order = append(s.order, name)
+	return m
+}
+
+// Decommission removes a machine from matchmaking. Jobs already running
+// there finish normally.
+func (s *Scheduler) Decommission(name string) {
+	if m, ok := s.machines[name]; ok {
+		m.gone = true
+	}
+}
+
+// Machines returns advertised, non-decommissioned machines in registration
+// order.
+func (s *Scheduler) Machines() []*Machine {
+	var out []*Machine
+	for _, name := range s.order {
+		if m := s.machines[name]; !m.gone {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Submit queues a job and schedules an immediate negotiation for
+// ClassImmediate work.
+func (s *Scheduler) Submit(j *Job) *Job {
+	if j.Run == nil {
+		panic("condor: job without Run")
+	}
+	s.nextID++
+	j.ID = s.nextID
+	j.State = StatePending
+	j.SubmitTime = s.engine.Now()
+	s.queue = append(s.queue, j)
+	s.logEvent(j, EventSubmit, j.Class.String())
+	if j.Class == ClassImmediate {
+		s.kickSoon()
+	}
+	return j
+}
+
+// Abort removes a pending job from the queue. Running jobs cannot be
+// aborted (the simulation has no preemption); Abort returns false for them.
+func (s *Scheduler) Abort(j *Job) bool {
+	if j.State != StatePending {
+		return false
+	}
+	j.State = StateAborted
+	j.EndTime = s.engine.Now()
+	s.logEvent(j, EventAbort, "")
+	return true
+}
+
+// kickSoon schedules a negotiation at the current instant (coalescing
+// multiple submissions in the same event).
+func (s *Scheduler) kickSoon() {
+	if s.kick != nil && !s.kick.Canceled() && s.kick.Time() <= s.engine.Now() {
+		return
+	}
+	s.kick = s.engine.Schedule(0, s.negotiate)
+}
+
+// negotiate matches pending jobs to machines: immediate class first, FIFO
+// within a class; machines chosen by job Rank, ties broken by most free
+// slots then registration order.
+func (s *Scheduler) negotiate() {
+	idle := s.idleProbe()
+	var rest []*Job
+	for _, j := range s.pendingInOrder() {
+		if j.State != StatePending {
+			continue
+		}
+		if j.Class == ClassIdle && !idle {
+			rest = append(rest, j)
+			continue
+		}
+		m := s.bestMachine(j)
+		if m == nil {
+			rest = append(rest, j)
+			continue
+		}
+		s.start(j, m)
+	}
+	// Rebuild queue with still-pending jobs, preserving order.
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, rest...)
+}
+
+func (s *Scheduler) pendingInOrder() []*Job {
+	out := make([]*Job, len(s.queue))
+	copy(out, s.queue)
+	sort.SliceStable(out, func(i, k int) bool {
+		if out[i].Class != out[k].Class {
+			return out[i].Class == ClassImmediate
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+func (s *Scheduler) bestMachine(j *Job) *Machine {
+	var best *Machine
+	var bestRank float64
+	for _, name := range s.order {
+		m := s.machines[name]
+		if m.gone || m.Free() <= 0 {
+			continue
+		}
+		if j.Ad != nil && m.Ad != nil && !classad.Match(j.Ad, m.Ad) {
+			continue
+		}
+		rank := 0.0
+		if j.Ad != nil {
+			rank = classad.RankOf(j.Ad, m.Ad)
+		}
+		if best == nil || rank > bestRank ||
+			(rank == bestRank && m.Free() > best.Free()) {
+			best = m
+			bestRank = rank
+		}
+	}
+	return best
+}
+
+func (s *Scheduler) start(j *Job, m *Machine) {
+	j.State = StateRunning
+	j.StartTime = s.engine.Now()
+	j.MachineID = m.Name
+	m.busy++
+	s.running++
+	s.logEvent(j, EventExecute, "on "+m.Name)
+	finished := false
+	done := func(err error) {
+		if finished {
+			panic(fmt.Sprintf("condor: job %d completed twice", j.ID))
+		}
+		finished = true
+		m.busy--
+		s.running--
+		j.EndTime = s.engine.Now()
+		if err == nil {
+			j.State = StateCompleted
+			s.logEvent(j, EventTerminate, "ok")
+		} else {
+			j.Err = err
+			j.State = StateFailed
+			s.logEvent(j, EventFail, err.Error())
+			if j.Rollback != nil {
+				j.Rollback()
+				j.State = StateRolledBack
+				s.logEvent(j, EventRollback, "")
+			}
+		}
+		s.kickSoon()
+	}
+	j.Run(m, done)
+}
+
+// Running returns the number of jobs currently executing.
+func (s *Scheduler) Running() int { return s.running }
+
+// Pending returns the number of queued jobs.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, j := range s.queue {
+		if j.State == StatePending {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) logEvent(j *Job, kind EventKind, detail string) {
+	s.log = append(s.log, LogEvent{
+		Time: s.engine.Now(), JobID: j.ID, JobName: j.Name, Kind: kind, Detail: detail,
+	})
+}
+
+// Log returns the user log (all job events, in order).
+func (s *Scheduler) Log() []LogEvent { return s.log }
+
+// Replay invokes fn for every logged event in order — the paper's "we can
+// replay all operations and analyze them".
+func (s *Scheduler) Replay(fn func(LogEvent)) {
+	for _, e := range s.log {
+		fn(e)
+	}
+}
+
+// Stats summarizes job outcomes from the user log.
+type Stats struct {
+	Submitted, Completed, Failed, RolledBack, Aborted int
+}
+
+// Stats computes outcome counts from the log.
+func (s *Scheduler) Stats() Stats {
+	var st Stats
+	for _, e := range s.log {
+		switch e.Kind {
+		case EventSubmit:
+			st.Submitted++
+		case EventTerminate:
+			st.Completed++
+		case EventFail:
+			st.Failed++
+		case EventRollback:
+			st.RolledBack++
+		case EventAbort:
+			st.Aborted++
+		}
+	}
+	return st
+}

@@ -1,0 +1,311 @@
+package condor
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"erms/internal/classad"
+	"erms/internal/sim"
+)
+
+func machineAd(rack int, standby bool) *classad.ClassAd {
+	return classad.NewClassAd().Set("Rack", rack).Set("Standby", standby)
+}
+
+func instantJob(name string, results *[]string) *Job {
+	return &Job{
+		Name: name,
+		Run: func(m *Machine, done func(error)) {
+			*results = append(*results, name+"@"+m.Name)
+			done(nil)
+		},
+	}
+}
+
+func TestImmediateJobRunsWithoutWaitingForCycle(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Hour})
+	s.Advertise("m1", machineAd(0, false), 1)
+	var got []string
+	s.Submit(instantJob("j1", &got))
+	e.RunUntil(time.Second) // far less than the negotiation period
+	if len(got) != 1 || got[0] != "j1@m1" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestIdleJobWaitsForIdleCluster(t *testing.T) {
+	e := sim.NewEngine()
+	idle := false
+	s := New(e, Config{NegotiationPeriod: time.Second, IdleProbe: func() bool { return idle }})
+	s.Advertise("m1", machineAd(0, false), 1)
+	var got []string
+	j := instantJob("encode", &got)
+	j.Class = ClassIdle
+	s.Submit(j)
+	e.RunUntil(10 * time.Second)
+	if len(got) != 0 {
+		t.Fatal("idle job ran while cluster busy")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	idle = true
+	e.RunUntil(12 * time.Second)
+	if len(got) != 1 {
+		t.Fatal("idle job did not run after cluster went idle")
+	}
+}
+
+func TestImmediateBeforeIdleOrdering(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	var got []string
+	// Single slot forces serialization; submit idle first, immediate second.
+	s.Advertise("m1", machineAd(0, false), 1)
+	idleJob := instantJob("idle", &got)
+	idleJob.Class = ClassIdle
+	// Delay both jobs' execution so ordering is observable: both pend until
+	// the first negotiation tick.
+	s.Stop() // replace ticker behaviour: submit while no machine? simpler:
+	// re-create scheduler to keep ticker; instead use fresh engine below.
+	e2 := sim.NewEngine()
+	s2 := New(e2, Config{NegotiationPeriod: time.Second})
+	got = nil
+	idle2 := instantJob("idle", &got)
+	idle2.Class = ClassIdle
+	s2.Submit(idle2)
+	s2.Submit(instantJob("imm", &got))
+	s2.Advertise("m1", machineAd(0, false), 1) // machine appears after submit
+	e2.RunUntil(5 * time.Second)
+	if len(got) != 2 || got[0] != "imm@m1" {
+		t.Fatalf("got = %v, want immediate first", got)
+	}
+}
+
+func TestRequirementsRestrictPlacement(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	s.Advertise("active1", machineAd(0, false), 1)
+	s.Advertise("standby1", machineAd(1, true), 1)
+	var got []string
+	j := instantJob("replicate", &got)
+	j.Ad = classad.NewClassAd().SetExprString("Requirements", "target.Standby == true")
+	s.Submit(j)
+	e.RunUntil(2 * time.Second)
+	if len(got) != 1 || got[0] != "replicate@standby1" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestRankPrefersBetterMachine(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	s.Advertise("small", classad.NewClassAd().Set("FreeGB", 10), 1)
+	s.Advertise("big", classad.NewClassAd().Set("FreeGB", 500), 1)
+	var got []string
+	j := instantJob("place", &got)
+	j.Ad = classad.NewClassAd().SetExprString("Rank", "target.FreeGB")
+	s.Submit(j)
+	e.RunUntil(2 * time.Second)
+	if len(got) != 1 || got[0] != "place@big" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestSlotLimitsAndQueueing(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	s.Advertise("m1", machineAd(0, false), 2)
+	var running, maxRunning int
+	mkJob := func(name string) *Job {
+		return &Job{
+			Name: name,
+			Run: func(m *Machine, done func(error)) {
+				running++
+				if running > maxRunning {
+					maxRunning = running
+				}
+				e.Schedule(3*time.Second, func() {
+					running--
+					done(nil)
+				})
+			},
+		}
+	}
+	for i := 0; i < 5; i++ {
+		s.Submit(mkJob("j"))
+	}
+	e.RunUntil(30 * time.Second)
+	if maxRunning != 2 {
+		t.Fatalf("max concurrent = %d, want 2 (slot limit)", maxRunning)
+	}
+	if s.Stats().Completed != 5 {
+		t.Fatalf("completed = %d", s.Stats().Completed)
+	}
+}
+
+func TestFailureTriggersRollback(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	s.Advertise("m1", machineAd(0, false), 1)
+	rolledBack := false
+	j := &Job{
+		Name:     "willfail",
+		Run:      func(m *Machine, done func(error)) { done(errors.New("disk full")) },
+		Rollback: func() { rolledBack = true },
+	}
+	s.Submit(j)
+	e.RunUntil(2 * time.Second)
+	if !rolledBack {
+		t.Fatal("rollback did not run")
+	}
+	if j.State != StateRolledBack {
+		t.Fatalf("state = %v", j.State)
+	}
+	st := s.Stats()
+	if st.Failed != 1 || st.RolledBack != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFailureWithoutRollbackStaysFailed(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	s.Advertise("m1", machineAd(0, false), 1)
+	j := &Job{
+		Name: "nofallback",
+		Run:  func(m *Machine, done func(error)) { done(errors.New("boom")) },
+	}
+	s.Submit(j)
+	e.RunUntil(2 * time.Second)
+	if j.State != StateFailed || j.Err == nil {
+		t.Fatalf("state = %v err = %v", j.State, j.Err)
+	}
+}
+
+func TestDecommissionStopsPlacement(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	s.Advertise("m1", machineAd(0, false), 1)
+	s.Decommission("m1")
+	var got []string
+	s.Submit(instantJob("j", &got))
+	e.RunUntil(5 * time.Second)
+	if len(got) != 0 {
+		t.Fatal("job ran on decommissioned machine")
+	}
+	if len(s.Machines()) != 0 {
+		t.Fatal("decommissioned machine still listed")
+	}
+	// Re-advertise brings it back.
+	s.Advertise("m2", machineAd(0, false), 1)
+	e.RunUntil(7 * time.Second)
+	if len(got) != 1 {
+		t.Fatal("pending job did not run after new machine appeared")
+	}
+}
+
+func TestAbortPendingJob(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	var got []string
+	j := s.Submit(instantJob("j", &got)) // no machines yet: stays pending
+	if !s.Abort(j) {
+		t.Fatal("abort failed")
+	}
+	s.Advertise("m1", machineAd(0, false), 1)
+	e.RunUntil(5 * time.Second)
+	if len(got) != 0 {
+		t.Fatal("aborted job ran")
+	}
+	if s.Abort(j) {
+		t.Fatal("double abort succeeded")
+	}
+	if s.Stats().Aborted != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestUserLogReplayAndOrder(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	s.Advertise("m1", machineAd(0, false), 1)
+	var got []string
+	s.Submit(instantJob("j1", &got))
+	e.RunUntil(2 * time.Second)
+	var kinds []EventKind
+	s.Replay(func(ev LogEvent) { kinds = append(kinds, ev.Kind) })
+	want := []EventKind{EventSubmit, EventExecute, EventTerminate}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if s.Log()[0].String() == "" {
+		t.Fatal("log event should render")
+	}
+}
+
+func TestFIFOWithinClass(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	var got []string
+	for _, n := range []string{"a", "b", "c"} {
+		s.Submit(instantJob(n, &got))
+	}
+	s.Advertise("m1", machineAd(0, false), 1)
+	e.RunUntil(5 * time.Second)
+	if len(got) != 3 || got[0] != "a@m1" || got[1] != "b@m1" || got[2] != "c@m1" {
+		t.Fatalf("got = %v, want FIFO", got)
+	}
+}
+
+func TestDoubleDonePanics(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Second})
+	s.Advertise("m1", machineAd(0, false), 1)
+	s.Submit(&Job{
+		Name: "broken",
+		Run: func(m *Machine, done func(error)) {
+			done(nil)
+			defer func() {
+				if recover() == nil {
+					t.Error("second done() did not panic")
+				}
+			}()
+			done(nil)
+		},
+	})
+	e.RunUntil(time.Second)
+}
+
+func TestSubmitWithoutRunPanics(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Submit(&Job{Name: "empty"})
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{
+		StatePending: "pending", StateRunning: "running", StateCompleted: "completed",
+		StateFailed: "failed", StateRolledBack: "rolled-back", StateAborted: "aborted",
+		State(99): "unknown",
+	} {
+		if st.String() != want {
+			t.Fatalf("State(%d) = %q", st, st.String())
+		}
+	}
+	if ClassImmediate.String() != "immediate" || ClassIdle.String() != "idle" {
+		t.Fatal("class strings")
+	}
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"erms/internal/auditlog"
+	"erms/internal/cep"
+	"erms/internal/hdfs"
+)
+
+// Action is what the judge wants done to a file.
+type Action int
+
+// Judge actions.
+const (
+	// ActionIncrease raises a hot file's replication to TargetRepl
+	// (scheduled immediately).
+	ActionIncrease Action = iota
+	// ActionDecrease returns a cooled file to the default factor
+	// (scheduled when idle).
+	ActionDecrease
+	// ActionEncode erasure-codes a cold file (scheduled when idle).
+	ActionEncode
+	// ActionDecode restores an encoded file that warmed up (immediate).
+	ActionDecode
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionIncrease:
+		return "increase"
+	case ActionDecrease:
+		return "decrease"
+	case ActionEncode:
+		return "encode"
+	case ActionDecode:
+		return "decode"
+	}
+	return "unknown"
+}
+
+// DataType is the paper's four-way classification.
+type DataType int
+
+// Data classes ("the data in HDFS could be classified into four types").
+const (
+	Normal DataType = iota
+	Hot
+	Cooled
+	Cold
+)
+
+func (d DataType) String() string {
+	switch d {
+	case Hot:
+		return "hot"
+	case Cooled:
+		return "cooled"
+	case Cold:
+		return "cold"
+	}
+	return "normal"
+}
+
+// Decision is one judge output.
+type Decision struct {
+	Time       time.Duration
+	Path       string
+	Class      DataType
+	Action     Action
+	TargetRepl int
+	// Formula records which of the paper's formulas (1)-(6) triggered the
+	// decision (0 for the datanode-overload rule's companion).
+	Formula int
+	Reason  string
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("%8.1fs %-8s %-9s %s -> r=%d (formula %d: %s)",
+		d.Time.Seconds(), d.Class, d.Action, d.Path, d.TargetRepl, d.Formula, d.Reason)
+}
+
+// Judge consumes the cluster's audit and block-read streams through the
+// CEP engine and classifies files each window.
+type Judge struct {
+	cluster *hdfs.Cluster
+	engine  *cep.Engine
+	th      Thresholds
+
+	fileStmt  *cep.Statement
+	blockStmt *cep.Statement
+	dnStmt    *cep.Statement
+
+	lastAccess map[string]time.Duration
+	coolStreak map[string]int // consecutive cooled-looking judge passes
+	predictor  *Predictor     // nil unless Thresholds.Predictive
+}
+
+// NewJudge builds a judge over the cluster with the given thresholds. It
+// wires the audit log (file opens) and block-read events into the CEP
+// engine — the paper's log-parser → CEP pipeline.
+func NewJudge(cluster *hdfs.Cluster, th Thresholds) *Judge {
+	th.applyDefaults()
+	j := &Judge{
+		cluster:    cluster,
+		th:         th,
+		lastAccess: make(map[string]time.Duration),
+		coolStreak: make(map[string]int),
+	}
+	if th.Predictive {
+		j.predictor = NewPredictor(0, 0)
+	}
+	j.engine = cep.New(func() time.Duration { return cluster.Engine().Now() })
+	w := fmt.Sprintf("%d s", int(th.Window.Seconds()))
+	j.fileStmt = j.engine.MustCompile(
+		"select path, count(*) as cnt from Access.win:time(" + w + ") " +
+			"where cmd = 'open' group by path")
+	j.blockStmt = j.engine.MustCompile(
+		"select path, block, count(*) as cnt from BlockAccess.win:time(" + w + ") " +
+			"group by path, block")
+	j.dnStmt = j.engine.MustCompile(
+		"select datanode, count(*) as cnt from BlockAccess.win:time(" + w + ") " +
+			"group by datanode")
+
+	// The paper's log parser: audit records become CEP events.
+	cluster.Audit().Subscribe(func(r auditlog.Record) {
+		if r.Cmd == auditlog.CmdOpen && r.Allowed {
+			j.lastAccess[r.Src] = r.Time
+		}
+		// Namespace changes migrate or drop the judge's per-file state so a
+		// renamed file keeps its age and a recreated path starts fresh.
+		switch r.Cmd {
+		case auditlog.CmdRename:
+			if t, ok := j.lastAccess[r.Src]; ok {
+				j.lastAccess[r.Dst] = t
+				delete(j.lastAccess, r.Src)
+			}
+			if s, ok := j.coolStreak[r.Src]; ok {
+				j.coolStreak[r.Dst] = s
+				delete(j.coolStreak, r.Src)
+			}
+			if j.predictor != nil {
+				j.predictor.Rename(r.Src, r.Dst)
+			}
+		case auditlog.CmdDelete:
+			delete(j.lastAccess, r.Src)
+			delete(j.coolStreak, r.Src)
+			if j.predictor != nil {
+				j.predictor.Forget(r.Src)
+			}
+		}
+		j.engine.Insert(cep.Event{
+			Time: r.Time, Type: "Access",
+			Fields: map[string]any{
+				"path": r.Src, "cmd": string(r.Cmd), "ip": r.IP,
+			},
+		})
+	})
+	cluster.OnBlockRead(func(ev hdfs.BlockReadEvent) {
+		j.engine.Insert(cep.Event{
+			Time: ev.Time, Type: "BlockAccess",
+			Fields: map[string]any{
+				"path":     ev.Path,
+				"block":    float64(ev.Block),
+				"datanode": float64(ev.Datanode),
+			},
+		})
+	})
+	return j
+}
+
+// Thresholds returns the judge's effective thresholds.
+func (j *Judge) Thresholds() Thresholds { return j.th }
+
+// CEP exposes the underlying engine (tests, extensions).
+func (j *Judge) CEP() *cep.Engine { return j.engine }
+
+// LastAccess returns the last observed open time for path and whether one
+// was seen.
+func (j *Judge) LastAccess(path string) (time.Duration, bool) {
+	t, ok := j.lastAccess[path]
+	return t, ok
+}
+
+// optimalReplication computes r* for a hot file: enough replicas that the
+// per-replica access count falls to τ_M, clamped to [default, min(MaxRepl,
+// p+q)].
+func (j *Judge) optimalReplication(nd float64) int {
+	r := int(math.Ceil(nd / j.th.TauM))
+	if def := j.cluster.Config().DefaultReplication; r < def {
+		r = def
+	}
+	max := j.th.MaxReplication
+	if nodes := j.cluster.NumDatanodes(); max > nodes {
+		max = nodes
+	}
+	if r > max {
+		r = max
+	}
+	return r
+}
+
+// Evaluate runs the paper's judging pass over the current window and
+// returns the decisions, deterministically ordered by path.
+func (j *Judge) Evaluate() []Decision {
+	now := j.cluster.Engine().Now()
+	var out []Decision
+
+	// Collect window aggregates.
+	fileCnt := map[string]float64{}
+	for _, row := range j.fileStmt.MustRows() {
+		fileCnt[row.Str("path")] = row.Num("cnt")
+	}
+	blockCnt := map[string]map[hdfs.BlockID]float64{}
+	for _, row := range j.blockStmt.MustRows() {
+		p := row.Str("path")
+		if blockCnt[p] == nil {
+			blockCnt[p] = map[hdfs.BlockID]float64{}
+		}
+		blockCnt[p][hdfs.BlockID(row.Num("block"))] = row.Num("cnt")
+	}
+
+	hotTarget := map[string]Decision{}
+	markHot := func(path string, nd float64, formula int, reason string) {
+		target := j.optimalReplication(nd)
+		if cur := j.cluster.ReplicationOf(path); target <= cur {
+			return
+		}
+		if prev, ok := hotTarget[path]; ok && prev.TargetRepl >= target {
+			return
+		}
+		hotTarget[path] = Decision{
+			Time: now, Path: path, Class: Hot, Action: ActionIncrease,
+			TargetRepl: target, Formula: formula, Reason: reason,
+		}
+	}
+
+	// Per-file rules over every live file.
+	paths := j.sortedPaths()
+	for _, path := range paths {
+		f := j.cluster.File(path)
+		r := float64(j.cluster.ReplicationOf(path))
+		if r <= 0 {
+			continue
+		}
+		nd := fileCnt[path]
+		def := float64(j.cluster.Config().DefaultReplication)
+
+		if f.Encoded {
+			// Warmed-up encoded file: restore replication immediately.
+			if nd/r >= j.th.TauD {
+				out = append(out, Decision{
+					Time: now, Path: path, Class: Hot, Action: ActionDecode,
+					TargetRepl: int(def), Formula: 6,
+					Reason: fmt.Sprintf("encoded file accessed %.0f times in window", nd),
+				})
+			}
+			continue
+		}
+
+		// Formula (1): mean per-replica file accesses.
+		if nd/r > j.th.TauM {
+			markHot(path, nd, 1, fmt.Sprintf("N_d/r = %.1f > τ_M %.0f", nd/r, j.th.TauM))
+		}
+		// Predictive rule (future work): act one window early on a rising
+		// trend whose forecast already clears the hot threshold.
+		if j.predictor != nil {
+			j.predictor.Observe(path, nd)
+			if forecast, hot := j.predictor.predictHot(path, r, j.th.TauM); hot {
+				f := clampForecast(forecast, nd)
+				markHot(path, f, 7, fmt.Sprintf("forecast N_d = %.0f (trend %+.1f/window)",
+					f, j.predictor.Trend(path)))
+			}
+		}
+		// Formulas (2) and (3): per-block intensity.
+		if bc := blockCnt[path]; len(bc) > 0 {
+			nBlocks := len(f.Blocks)
+			intense := 0
+			var maxB, totalB float64
+			for _, cnt := range bc {
+				totalB += cnt
+				if cnt/r > j.th.MM && cnt > maxB {
+					maxB = cnt
+				}
+				if cnt/r > j.th.Mm {
+					intense++
+				}
+			}
+			if maxB > 0 {
+				markHot(path, maxB, 2, fmt.Sprintf("block N_b/r = %.1f > M_M %.0f", maxB/r, j.th.MM))
+			}
+			if nBlocks > 0 && float64(intense)/float64(nBlocks) > j.th.Epsilon {
+				// Demand signal: average accesses per block (file-level
+				// opens are zero when clients read blocks directly).
+				avg := totalB / float64(nBlocks)
+				if nd > avg {
+					avg = nd
+				}
+				markHot(path, avg, 3, fmt.Sprintf("%d/%d blocks above M_m", intense, nBlocks))
+			}
+		}
+
+		// Formula (5): cooled — extra replicas no longer earning their
+		// keep. Hysteresis: the file must look cooled for CooldownWindows
+		// consecutive passes, or marginal demand thrashes replicas.
+		if r > def && nd/r < j.th.TauD {
+			j.coolStreak[path]++
+			if j.coolStreak[path] >= j.th.CooldownWindows {
+				j.coolStreak[path] = 0
+				out = append(out, Decision{
+					Time: now, Path: path, Class: Cooled, Action: ActionDecrease,
+					TargetRepl: int(def), Formula: 5,
+					Reason: fmt.Sprintf("N_d/r = %.2f < τ_d %.1f", nd/r, j.th.TauD),
+				})
+			}
+			continue
+		}
+		j.coolStreak[path] = 0
+
+		// Formula (6): cold — quiet and old.
+		last, seen := j.lastAccess[path]
+		if !seen {
+			last = f.CreatedAt
+		}
+		if nd/r < j.th.TauSmall && now-last > j.th.ColdAge && r <= def {
+			out = append(out, Decision{
+				Time: now, Path: path, Class: Cold, Action: ActionEncode,
+				TargetRepl: 1, Formula: 6,
+				Reason: fmt.Sprintf("idle %.0f min", (now - last).Minutes()),
+			})
+		}
+	}
+
+	// Formula (4): overloaded datanodes — boost the file contributing the
+	// most accesses on that node.
+	for _, row := range j.dnStmt.MustRows() {
+		if row.Num("cnt") <= j.th.TauDN {
+			continue
+		}
+		dn := hdfs.DatanodeID(row.Num("datanode"))
+		if top, nd, ok := j.topContributor(dn, blockCnt); ok {
+			markHot(top, nd, 4, fmt.Sprintf("datanode %d served %.0f block reads > τ_DN %.0f",
+				dn, row.Num("cnt"), j.th.TauDN))
+		}
+	}
+
+	for _, path := range sortedKeys(hotTarget) {
+		out = append(out, hotTarget[path])
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Path != out[b].Path {
+			return out[a].Path < out[b].Path
+		}
+		return out[a].Formula < out[b].Formula
+	})
+	return out
+}
+
+// topContributor finds the file whose blocks on dn received the most
+// window accesses ("the data D that contributes the largest access to DN").
+func (j *Judge) topContributor(dn hdfs.DatanodeID, blockCnt map[string]map[hdfs.BlockID]float64) (string, float64, bool) {
+	best := ""
+	var bestCnt, bestTotal float64
+	for _, path := range sortedKeys(blockCnt) {
+		f := j.cluster.File(path)
+		if f == nil || f.Encoded {
+			continue
+		}
+		var onNode, total float64
+		for bid, cnt := range blockCnt[path] {
+			total += cnt
+			for _, r := range j.cluster.Replicas(bid) {
+				if r == dn {
+					onNode += cnt
+					break
+				}
+			}
+		}
+		if onNode > bestCnt {
+			best, bestCnt, bestTotal = path, onNode, total
+		}
+	}
+	return best, bestTotal, best != ""
+}
+
+func (j *Judge) sortedPaths() []string {
+	var out []string
+	for _, fc := range j.allFiles() {
+		out = append(out, fc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// allFiles enumerates cluster file paths. The hdfs package exposes files
+// individually; we walk via the audit-independent accessor.
+func (j *Judge) allFiles() []string {
+	return j.cluster.FilePaths()
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

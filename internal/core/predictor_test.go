@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"erms/internal/hdfs"
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+func TestPredictorNeedsHistory(t *testing.T) {
+	p := NewPredictor(0, 0)
+	if _, ok := p.Predict("/x"); ok {
+		t.Fatal("prediction with no history")
+	}
+	p.Observe("/x", 5)
+	if _, ok := p.Predict("/x"); ok {
+		t.Fatal("prediction with one observation")
+	}
+	p.Observe("/x", 6)
+	if _, ok := p.Predict("/x"); !ok {
+		t.Fatal("no prediction with two observations")
+	}
+	if p.Len() != 1 {
+		t.Fatal("len")
+	}
+	p.Forget("/x")
+	if p.Len() != 0 {
+		t.Fatal("forget")
+	}
+}
+
+func TestPredictorTracksRisingTrend(t *testing.T) {
+	p := NewPredictor(0, 0)
+	for _, v := range []float64{10, 20, 30, 40} {
+		p.Observe("/ramp", v)
+	}
+	f, ok := p.Predict("/ramp")
+	if !ok {
+		t.Fatal("no forecast")
+	}
+	if f <= 40 {
+		t.Fatalf("forecast %v should extrapolate above the last value 40", f)
+	}
+	if p.Trend("/ramp") <= 0 {
+		t.Fatalf("trend = %v, want positive", p.Trend("/ramp"))
+	}
+}
+
+func TestPredictorFlatAndFallingSeries(t *testing.T) {
+	p := NewPredictor(0, 0)
+	for i := 0; i < 6; i++ {
+		p.Observe("/flat", 12)
+	}
+	f, _ := p.Predict("/flat")
+	if f < 11 || f > 13 {
+		t.Fatalf("flat forecast = %v, want ~12", f)
+	}
+	for _, v := range []float64{40, 30, 20, 10} {
+		p.Observe("/fall", v)
+	}
+	if p.Trend("/fall") >= 0 {
+		t.Fatal("falling series should have negative trend")
+	}
+	if _, hot := p.predictHot("/fall", 3, 1); hot {
+		t.Fatal("falling series flagged predictively hot")
+	}
+}
+
+func TestPredictorForecastNeverNegative(t *testing.T) {
+	f := func(vals []uint8) bool {
+		p := NewPredictor(0, 0)
+		for _, v := range vals {
+			p.Observe("/x", float64(v))
+		}
+		fc, ok := p.Predict("/x")
+		return !ok || fc >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampForecast(t *testing.T) {
+	if got := clampForecast(1000, 20); got != 50 {
+		t.Fatalf("clamp = %v, want 50 (2*20+10)", got)
+	}
+	if got := clampForecast(30, 20); got != 30 {
+		t.Fatalf("clamp = %v, want 30 (below limit)", got)
+	}
+}
+
+// rampTestbed drives a linearly ramping read load and reports the virtual
+// time at which the judge first decided to increase replication.
+func rampReactionTime(t *testing.T, predictive bool) time.Duration {
+	t.Helper()
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{})
+	h := hdfs.New(e, hdfs.Config{Topology: topo})
+	th := smallThresholds()
+	th.Predictive = predictive
+	m := New(h, Config{Thresholds: th, JudgePeriod: th.Window})
+	if _, err := h.CreateFile("/ramp", 64*mb, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Demand ramps 2, 4, 6, ... reads per minute: the reactive rule fires
+	// once a 5-min window holds > τ_M*r = 12 accesses; the predictor sees
+	// the slope earlier.
+	for minute := 0; minute < 40; minute++ {
+		readers := 2 * (minute + 1)
+		min := minute
+		e.Schedule(time.Duration(min)*time.Minute, func() {
+			for i := 0; i < readers; i++ {
+				h.ReadFile(topology.NodeID(i%10), "/ramp", nil)
+			}
+		})
+	}
+	e.RunUntil(45 * time.Minute)
+	m.Stop()
+	for _, d := range m.History() {
+		if d.Action == ActionIncrease {
+			return d.Time
+		}
+	}
+	return -1
+}
+
+func TestPredictiveJudgeReactsEarlier(t *testing.T) {
+	reactive := rampReactionTime(t, false)
+	predictive := rampReactionTime(t, true)
+	if reactive < 0 || predictive < 0 {
+		t.Fatalf("no increase decision: reactive=%v predictive=%v", reactive, predictive)
+	}
+	if predictive > reactive {
+		t.Fatalf("predictive judge reacted at %v, later than reactive %v",
+			predictive, reactive)
+	}
+}
+
+func TestPredictiveDecisionRecordsFormula7(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{})
+	h := hdfs.New(e, hdfs.Config{Topology: topo})
+	th := smallThresholds()
+	th.Predictive = true
+	th.TauM = 4
+	m := New(h, Config{Thresholds: th, JudgePeriod: time.Hour})
+	if _, err := h.CreateFile("/f", 64*mb, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Feed the judge a rising series below the reactive threshold at the
+	// moment of evaluation but with a forecast above it. Times are
+	// absolute virtual minutes.
+	feed := func(minuteStart int, reads int) {
+		for i := 0; i < reads; i++ {
+			i := i
+			e.At(time.Duration(minuteStart)*time.Minute+time.Duration(i)*time.Second,
+				func() { h.ReadFile(topology.NodeID(i%10), "/f", nil) })
+		}
+	}
+	feed(0, 4)
+	e.RunUntil(5 * time.Minute)
+	m.RunJudgeOnce() // observe 4
+	feed(5, 12)
+	e.RunUntil(10 * time.Minute)
+	m.RunJudgeOnce() // observe 12: reactive needs >12, forecast ~12.4 fires
+	found := false
+	for _, d := range m.History() {
+		if d.Formula == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no predictive decision in %v", m.History())
+	}
+}

@@ -1,0 +1,260 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Codec is a systematic Reed–Solomon code with K data shards and M parity
+// shards. Any K of the K+M shards reconstruct the original data.
+type Codec struct {
+	K, M int
+	// parityRows is the M x K encoding matrix: parity p = sum_j rows[p][j]*data[j].
+	parityRows [][]byte
+}
+
+// ErrTooFewShards is returned when fewer than K shards survive.
+var ErrTooFewShards = errors.New("erasure: fewer than K shards available")
+
+// NewCodec builds an RS(K, M) codec. The paper's cold-data configuration is
+// K data blocks with M=4 parities. K+M must be at most 256 (field size).
+func NewCodec(k, m int) (*Codec, error) {
+	if k <= 0 || m < 0 {
+		return nil, fmt.Errorf("erasure: invalid RS(%d,%d)", k, m)
+	}
+	// Evaluation points are alpha^r, distinct only for r in [0, 255), so
+	// the code supports at most 255 total shards.
+	if k+m > 255 {
+		return nil, fmt.Errorf("erasure: RS(%d,%d) exceeds GF(256) capacity", k, m)
+	}
+	c := &Codec{K: k, M: m}
+	// Build a (k+m) x k Vandermonde matrix V with distinct evaluation
+	// points x_r = alpha^r, then right-multiply by the inverse of its top
+	// k x k block T: G = V * T^{-1}. The top of G becomes the identity
+	// (systematic) and every k x k row-submatrix of G stays invertible
+	// because every k x k row-submatrix of V is a square Vandermonde
+	// matrix with distinct points. The bottom m rows of G are the parity
+	// encoding matrix.
+	rows := k + m
+	v := make([][]byte, rows)
+	for r := 0; r < rows; r++ {
+		v[r] = make([]byte, k)
+		for cIdx := 0; cIdx < k; cIdx++ {
+			v[r][cIdx] = gfExpPow(gfExp[r], cIdx)
+		}
+	}
+	top := make([][]byte, k)
+	for r := 0; r < k; r++ {
+		top[r] = append([]byte(nil), v[r]...)
+	}
+	tinv, err := invertMatrix(top)
+	if err != nil {
+		return nil, err
+	}
+	c.parityRows = make([][]byte, m)
+	for p := 0; p < m; p++ {
+		row := make([]byte, k)
+		for j := 0; j < k; j++ {
+			var acc byte
+			for cIdx := 0; cIdx < k; cIdx++ {
+				acc ^= gfMul(v[k+p][cIdx], tinv[cIdx][j])
+			}
+			row[j] = acc
+		}
+		c.parityRows[p] = row
+	}
+	return c, nil
+}
+
+// Encode computes the M parity shards for the given K data shards. All data
+// shards must be the same length. The returned parity shards have that same
+// length.
+func (c *Codec) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.K {
+		return nil, fmt.Errorf("erasure: got %d data shards, want %d", len(data), c.K)
+	}
+	size := len(data[0])
+	for i, d := range data {
+		if len(d) != size {
+			return nil, fmt.Errorf("erasure: shard %d has size %d, want %d", i, len(d), size)
+		}
+	}
+	parity := make([][]byte, c.M)
+	for p := 0; p < c.M; p++ {
+		parity[p] = make([]byte, size)
+		for j := 0; j < c.K; j++ {
+			mulSlice(c.parityRows[p][j], data[j], parity[p])
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct fills in missing shards. shards has length K+M: indexes 0..K-1
+// are data, K..K+M-1 are parity; nil entries are missing. On success every
+// entry is populated in place. At least K entries must be non-nil.
+func (c *Codec) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.K+c.M {
+		return fmt.Errorf("erasure: got %d shards, want %d", len(shards), c.K+c.M)
+	}
+	present := 0
+	size := -1
+	for _, s := range shards {
+		if s != nil {
+			present++
+			if size < 0 {
+				size = len(s)
+			} else if len(s) != size {
+				return errors.New("erasure: inconsistent shard sizes")
+			}
+		}
+	}
+	if present < c.K {
+		return ErrTooFewShards
+	}
+	missingData := false
+	for i := 0; i < c.K; i++ {
+		if shards[i] == nil {
+			missingData = true
+			break
+		}
+	}
+	if missingData {
+		if err := c.solveData(shards, size); err != nil {
+			return err
+		}
+	}
+	// Re-encode any missing parity from the (now complete) data.
+	needParity := false
+	for i := c.K; i < c.K+c.M; i++ {
+		if shards[i] == nil {
+			needParity = true
+			break
+		}
+	}
+	if needParity {
+		parity, err := c.Encode(shards[:c.K])
+		if err != nil {
+			return err
+		}
+		for i := c.K; i < c.K+c.M; i++ {
+			if shards[i] == nil {
+				shards[i] = parity[i-c.K]
+			}
+		}
+	}
+	return nil
+}
+
+// solveData recovers the missing data shards by inverting the K x K matrix
+// formed by the generator rows of K surviving shards.
+func (c *Codec) solveData(shards [][]byte, size int) error {
+	// Generator matrix G is [I; P] (K+M rows). Pick K surviving rows.
+	rows := make([][]byte, 0, c.K)
+	srcs := make([][]byte, 0, c.K)
+	for i := 0; i < c.K+c.M && len(rows) < c.K; i++ {
+		if shards[i] == nil {
+			continue
+		}
+		var row []byte
+		if i < c.K {
+			row = make([]byte, c.K)
+			row[i] = 1
+		} else {
+			row = append([]byte(nil), c.parityRows[i-c.K]...)
+		}
+		rows = append(rows, row)
+		srcs = append(srcs, shards[i])
+	}
+	inv, err := invertMatrix(rows)
+	if err != nil {
+		return err
+	}
+	// data[j] = sum_i inv[j][i] * srcs[i]; only materialize missing ones.
+	for j := 0; j < c.K; j++ {
+		if shards[j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for i := 0; i < c.K; i++ {
+			mulSlice(inv[j][i], srcs[i], out)
+		}
+		shards[j] = out
+	}
+	return nil
+}
+
+// invertMatrix returns the inverse of a square GF(256) matrix via
+// Gauss–Jordan. The input is consumed.
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	inv := make([][]byte, n)
+	for i := range inv {
+		inv[i] = make([]byte, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("erasure: singular decode matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if p := m[col][col]; p != 1 {
+			s := gfInv(p)
+			for j := 0; j < n; j++ {
+				m[col][j] = gfMul(m[col][j], s)
+				inv[col][j] = gfMul(inv[col][j], s)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			for j := 0; j < n; j++ {
+				m[r][j] ^= gfMul(f, m[col][j])
+				inv[r][j] ^= gfMul(f, inv[col][j])
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Verify recomputes parities from the data shards and reports whether they
+// match the stored parity shards.
+func (c *Codec) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != c.K+c.M {
+		return false, fmt.Errorf("erasure: got %d shards, want %d", len(shards), c.K+c.M)
+	}
+	for _, s := range shards {
+		if s == nil {
+			return false, errors.New("erasure: Verify requires all shards present")
+		}
+	}
+	parity, err := c.Encode(shards[:c.K])
+	if err != nil {
+		return false, err
+	}
+	for p := 0; p < c.M; p++ {
+		stored := shards[c.K+p]
+		for i := range parity[p] {
+			if parity[p][i] != stored[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// StorageOverhead returns the code's storage expansion factor relative to
+// the raw data, e.g. RS(10,4) -> 1.4. ERMS contrasts this with 3x
+// triplication for cold data.
+func (c *Codec) StorageOverhead() float64 {
+	return float64(c.K+c.M) / float64(c.K)
+}

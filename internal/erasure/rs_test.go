@@ -1,0 +1,364 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFAxioms(t *testing.T) {
+	// Spot-check field axioms exhaustively over small sets and by sampling.
+	for a := 0; a < 256; a++ {
+		if gfMul(byte(a), 1) != byte(a) {
+			t.Fatalf("a*1 != a for %d", a)
+		}
+		if gfMul(byte(a), 0) != 0 {
+			t.Fatalf("a*0 != 0 for %d", a)
+		}
+		if a != 0 {
+			if gfMul(byte(a), gfInv(byte(a))) != 1 {
+				t.Fatalf("a * a^-1 != 1 for %d", a)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatal("mul not commutative")
+		}
+		if gfMul(a, gfMul(b, c)) != gfMul(gfMul(a, b), c) {
+			t.Fatal("mul not associative")
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatal("mul not distributive over xor")
+		}
+		if b != 0 && gfMul(gfDiv(a, b), b) != a {
+			t.Fatal("div not inverse of mul")
+		}
+	}
+}
+
+func TestGFDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gfDiv(5, 0)
+}
+
+func TestGFExpPow(t *testing.T) {
+	if gfExpPow(0, 0) != 1 || gfExpPow(0, 5) != 0 {
+		t.Fatal("0^n wrong")
+	}
+	for a := 1; a < 256; a++ {
+		x := byte(1)
+		for n := 0; n < 6; n++ {
+			if gfExpPow(byte(a), n) != x {
+				t.Fatalf("%d^%d wrong", a, n)
+			}
+			x = gfMul(x, byte(a))
+		}
+	}
+}
+
+func TestNewCodecValidation(t *testing.T) {
+	if _, err := NewCodec(0, 4); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewCodec(3, -1); err == nil {
+		t.Fatal("m<0 accepted")
+	}
+	if _, err := NewCodec(200, 56); err == nil {
+		t.Fatal("k+m>255 accepted")
+	}
+	if _, err := NewCodec(251, 4); err != nil {
+		t.Fatal("k+m=255 rejected")
+	}
+}
+
+func randShards(rng *rand.Rand, k, size int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+func TestEncodeVerifyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range [][2]int{{1, 4}, {4, 2}, {10, 4}, {6, 3}} {
+		c, err := NewCodec(cfg[0], cfg[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randShards(rng, c.K, 1024)
+		parity, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parity) != c.M {
+			t.Fatalf("parity count = %d", len(parity))
+		}
+		all := append(append([][]byte{}, data...), parity...)
+		ok, err := c.Verify(all)
+		if err != nil || !ok {
+			t.Fatalf("Verify = %v, %v", ok, err)
+		}
+		// Corrupt one byte: Verify must fail.
+		all[0][10] ^= 0xFF
+		ok, err = c.Verify(all)
+		if err != nil || ok {
+			t.Fatal("Verify accepted corrupted data")
+		}
+		all[0][10] ^= 0xFF
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c, _ := NewCodec(3, 2)
+	if _, err := c.Encode(make([][]byte, 2)); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	bad := [][]byte{make([]byte, 10), make([]byte, 10), make([]byte, 9)}
+	if _, err := c.Encode(bad); err == nil {
+		t.Fatal("ragged shards accepted")
+	}
+}
+
+// TestReconstructAllErasurePatterns exhaustively erases every subset of up
+// to M shards for a small code and verifies recovery.
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	const k, m = 4, 3
+	c, err := NewCodec(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	data := randShards(rng, k, 256)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+	n := k + m
+	for mask := 0; mask < 1<<n; mask++ {
+		erased := 0
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				erased++
+			}
+		}
+		if erased == 0 || erased > m {
+			continue
+		}
+		shards := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				shards[i] = append([]byte(nil), full[i]...)
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(shards[i], full[i]) {
+				t.Fatalf("mask %b: shard %d mismatch", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c, _ := NewCodec(4, 2)
+	shards := make([][]byte, 6)
+	shards[0] = make([]byte, 8)
+	shards[1] = make([]byte, 8)
+	shards[2] = make([]byte, 8)
+	err := c.Reconstruct(shards)
+	if !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	c, _ := NewCodec(2, 1)
+	if err := c.Reconstruct(make([][]byte, 2)); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	ragged := [][]byte{make([]byte, 4), make([]byte, 5), nil}
+	if err := c.Reconstruct(ragged); err == nil {
+		t.Fatal("ragged shards accepted")
+	}
+}
+
+func TestPaperColdConfig(t *testing.T) {
+	// The paper: "a replication factor of one and four coding parities."
+	// With a 10-block stripe that is RS(10,4): 1.4x storage vs 3x.
+	c, err := NewCodec(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StorageOverhead(); got != 1.4 {
+		t.Fatalf("overhead = %v, want 1.4", got)
+	}
+	// Losing any 4 shards must still recover.
+	rng := rand.New(rand.NewSource(3))
+	data := randShards(rng, 10, 64)
+	parity, _ := c.Encode(data)
+	full := append(append([][]byte{}, data...), parity...)
+	shards := make([][]byte, 14)
+	for i := range shards {
+		shards[i] = append([]byte(nil), full[i]...)
+	}
+	// Erase 4 data shards (worst case).
+	shards[0], shards[3], shards[5], shards[9] = nil, nil, nil, nil
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], full[i]) {
+			t.Fatalf("shard %d mismatch", i)
+		}
+	}
+}
+
+func TestSingleDataShardCode(t *testing.T) {
+	// RS(1, 4): one replica plus four parities, each parity a copy-like
+	// transform of the data. Any single survivor restores everything.
+	c, err := NewCodec(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]byte{[]byte("cold block contents")}
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lost := 0; lost < 5; lost++ {
+		shards := make([][]byte, 5)
+		src := append([][]byte{data[0]}, parity...)
+		// Keep only one shard (index `lost` is the survivor here).
+		shards[lost] = append([]byte(nil), src[lost]...)
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("survivor %d: %v", lost, err)
+		}
+		if !bytes.Equal(shards[0], data[0]) {
+			t.Fatalf("survivor %d: data mismatch", lost)
+		}
+	}
+}
+
+// Property: encode → erase random <= M shards → reconstruct → identical.
+func TestQuickReconstruct(t *testing.T) {
+	type params struct {
+		Seed int64
+		K, M uint8
+	}
+	f := func(p params) bool {
+		k := int(p.K%8) + 1
+		m := int(p.M%5) + 1
+		c, err := NewCodec(k, m)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(p.Seed))
+		data := randShards(rng, k, 128)
+		parity, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		full := append(append([][]byte{}, data...), parity...)
+		shards := make([][]byte, k+m)
+		for i := range shards {
+			shards[i] = append([]byte(nil), full[i]...)
+		}
+		// Erase a random subset of size 1..m.
+		erase := rng.Perm(k + m)[:1+rng.Intn(m)]
+		for _, i := range erase {
+			shards[i] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], full[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parity is linear — encoding the XOR of two datasets equals the
+// XOR of their encodings.
+func TestQuickLinearity(t *testing.T) {
+	c, err := NewCodec(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randShards(rng, 5, 64)
+		b := randShards(rng, 5, 64)
+		xor := make([][]byte, 5)
+		for i := range xor {
+			xor[i] = make([]byte, 64)
+			for j := range xor[i] {
+				xor[i][j] = a[i][j] ^ b[i][j]
+			}
+		}
+		pa, _ := c.Encode(a)
+		pb, _ := c.Encode(b)
+		px, _ := c.Encode(xor)
+		for i := range px {
+			for j := range px[i] {
+				if px[i][j] != pa[i][j]^pb[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeRS10_4(b *testing.B) {
+	c, _ := NewCodec(10, 4)
+	rng := rand.New(rand.NewSource(1))
+	data := randShards(rng, 10, 1<<20)
+	b.SetBytes(10 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructRS10_4(b *testing.B) {
+	c, _ := NewCodec(10, 4)
+	rng := rand.New(rand.NewSource(1))
+	data := randShards(rng, 10, 1<<20)
+	parity, _ := c.Encode(data)
+	full := append(append([][]byte{}, data...), parity...)
+	b.SetBytes(10 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, 14)
+		copy(shards, full)
+		shards[0], shards[1], shards[2], shards[3] = nil, nil, nil, nil
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

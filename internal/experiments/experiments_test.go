@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// find returns the Fig3 row for (scheduler, system).
+func find3(rows []Fig3Row, sched, sys string) Fig3Row {
+	for _, r := range rows {
+		if r.Scheduler == sched && r.System == sys {
+			return r
+		}
+	}
+	return Fig3Row{}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rows := Fig3(Fig3Config{
+		Seed:     1,
+		Duration: 45 * time.Minute,
+		Files:    16,
+		TauMs:    []float64{8, 4},
+	})
+	if len(rows) != 6 { // 2 schedulers x (vanilla + 2 tauM)
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, sched := range []string{"FIFO", "Fair"} {
+		van := find3(rows, sched, "vanilla")
+		aggressive := find3(rows, sched, "ERMS_tauM=4")
+		if van.Jobs == 0 || aggressive.Jobs == 0 {
+			t.Fatalf("%s: no completed jobs (van=%d erms=%d)", sched, van.Jobs, aggressive.Jobs)
+		}
+		// The paper: ERMS improves reading throughput and locality for
+		// both schedulers; the lowest τ_M is the most aggressive.
+		if aggressive.Throughput <= van.Throughput {
+			t.Errorf("%s: ERMS τM=4 throughput %.1f <= vanilla %.1f",
+				sched, aggressive.Throughput, van.Throughput)
+		}
+		if aggressive.Locality <= van.Locality {
+			t.Errorf("%s: ERMS τM=4 locality %.3f <= vanilla %.3f",
+				sched, aggressive.Locality, van.Locality)
+		}
+	}
+	if tb := Fig3Table(rows); len(tb.Rows) != len(rows) {
+		t.Fatal("table rows")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rows := Fig4(7, 2*time.Hour)
+	if len(rows) < 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Hours < rows[i-1].Hours || rows[i].CDF < rows[i-1].CDF {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if last := rows[len(rows)-1]; last.CDF != 1 {
+		t.Fatalf("CDF ends at %v", last.CDF)
+	}
+	if tb := Fig4Table(rows); len(tb.Rows) == 0 {
+		t.Fatal("table empty")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	rows := Fig5(Fig5Config{
+		Seed:         3,
+		Duration:     3 * time.Hour,
+		Files:        16,
+		SamplePeriod: 10 * time.Minute,
+	})
+	if len(rows) < 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Mid-trace (hot phase): ERMS stores more than vanilla somewhere.
+	hotAbove := false
+	for _, r := range rows[:len(rows)/2] {
+		if r.ERMSGB > r.VanillaGB {
+			hotAbove = true
+			break
+		}
+	}
+	if !hotAbove {
+		t.Error("ERMS never exceeded vanilla storage during the hot phase")
+	}
+	// End of trace (cold phase): erasure coding pushes ERMS below vanilla.
+	last := rows[len(rows)-1]
+	if last.ERMSGB >= last.VanillaGB {
+		t.Errorf("final storage: ERMS %.1f GB >= vanilla %.1f GB", last.ERMSGB, last.VanillaGB)
+	}
+	if tb := Fig5Table(rows); len(tb.Rows) != len(rows) {
+		t.Fatal("table rows")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows := Fig6(Fig6Config{
+		FileSize:     512 * MB,
+		Replications: []int{1, 3, 6},
+		Threads:      []int{7, 21, 35},
+	})
+	get := func(threads, repl int) float64 {
+		for _, r := range rows {
+			if r.Threads == threads && r.Replication == repl {
+				return r.AvgExecSec
+			}
+		}
+		t.Fatalf("missing row %d/%d", threads, repl)
+		return 0
+	}
+	// More threads -> slower (at fixed replication).
+	if !(get(7, 3) < get(21, 3) && get(21, 3) < get(35, 3)) {
+		t.Errorf("execution time not increasing with threads: %v %v %v",
+			get(7, 3), get(21, 3), get(35, 3))
+	}
+	// More replicas -> faster (at fixed concurrency).
+	if !(get(35, 1) > get(35, 3) && get(35, 3) > get(35, 6)) {
+		t.Errorf("execution time not decreasing with replication: %v %v %v",
+			get(35, 1), get(35, 3), get(35, 6))
+	}
+	if tb := Fig6Table(rows); len(tb.Rows) != len(rows) {
+		t.Fatal("table rows")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	rows := Fig7(Fig7Config{
+		Sizes:    []float64{64 * MB, 512 * MB, 2 * GB},
+		FromRepl: 3,
+		ToRepl:   6,
+	})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WholeSec >= r.ByOneSec {
+			t.Errorf("size %s: whole %.1fs >= one-by-one %.1fs",
+				sizeLabel(r.Size), r.WholeSec, r.ByOneSec)
+		}
+	}
+	// Both strategies take longer on bigger files.
+	if !sort.SliceIsSorted(rows, func(i, j int) bool { return rows[i].WholeSec < rows[j].WholeSec }) {
+		t.Error("whole-at-once time not increasing with size")
+	}
+	if tb := Fig7Table(rows); len(tb.Rows) != 3 {
+		t.Fatal("table rows")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	cfg := Fig89Config{FileSize: 512 * MB, MaxClients: 120}
+	rows := Fig8(cfg, []int{2, 4, 6})
+	get := func(model StorageModel, repl int) int {
+		for _, r := range rows {
+			if r.Model == model && r.Replication == repl {
+				return r.MaxClients
+			}
+		}
+		t.Fatalf("missing row %v/%d", model, repl)
+		return 0
+	}
+	// Capacity grows with replication under both models.
+	for _, m := range []StorageModel{AllActive, ActiveStandby} {
+		if !(get(m, 2) < get(m, 4) && get(m, 4) < get(m, 6)) {
+			t.Errorf("%v: capacity not increasing: %d %d %d",
+				m, get(m, 2), get(m, 4), get(m, 6))
+		}
+	}
+	// Beyond the default factor, Active/Standby holds more concurrency
+	// because its extras live on nodes without foreground work.
+	if get(ActiveStandby, 6) <= get(AllActive, 6) {
+		t.Errorf("active/standby (%d) should beat all-active (%d) at r=6",
+			get(ActiveStandby, 6), get(AllActive, 6))
+	}
+	if tb := Fig8Table(rows); len(tb.Rows) != len(rows) {
+		t.Fatal("table rows")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	cfg := Fig89Config{FileSize: 512 * MB}
+	rows := Fig9(cfg, 40, []int{3, 6})
+	get := func(model StorageModel, repl int) Fig9Row {
+		for _, r := range rows {
+			if r.Model == model && r.Replication == repl {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v/%d", model, repl)
+		return Fig9Row{}
+	}
+	for _, m := range []StorageModel{AllActive, ActiveStandby} {
+		lo, hi := get(m, 3), get(m, 6)
+		if hi.Throughput <= lo.Throughput {
+			t.Errorf("%v: throughput not increasing with replication: %.1f -> %.1f",
+				m, lo.Throughput, hi.Throughput)
+		}
+		if hi.AvgExecSec >= lo.AvgExecSec {
+			t.Errorf("%v: exec time not decreasing with replication: %.1f -> %.1f",
+				m, lo.AvgExecSec, hi.AvgExecSec)
+		}
+	}
+	// The Active/Standby model wins at high replication.
+	if get(ActiveStandby, 6).Throughput <= get(AllActive, 6).Throughput {
+		t.Errorf("active/standby should beat all-active at r=6: %.1f vs %.1f",
+			get(ActiveStandby, 6).Throughput, get(AllActive, 6).Throughput)
+	}
+	if tb := Fig9Table(rows); len(tb.Rows) != len(rows) {
+		t.Fatal("table rows")
+	}
+}
+
+func TestStorageModelString(t *testing.T) {
+	if AllActive.String() != "all-active" || ActiveStandby.String() != "active/standby" {
+		t.Fatal("model strings")
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestPaperScaleFigures validates the figure shapes at the paper's full
+// parameters (1 GB files, 70 readers, replication up to 8, multi-hour
+// traces). It takes minutes, so it only runs when ERMS_FULL is set:
+//
+//	ERMS_FULL=1 go test -run TestPaperScale ./internal/experiments/
+func TestPaperScaleFigures(t *testing.T) {
+	if os.Getenv("ERMS_FULL") == "" {
+		t.Skip("set ERMS_FULL=1 to run paper-scale validation")
+	}
+
+	t.Run("Fig3", func(t *testing.T) {
+		rows := Fig3(Fig3Config{Seed: 1, Duration: 2 * time.Hour, Files: 30})
+		van := find3(rows, "FIFO", "vanilla")
+		best := find3(rows, "FIFO", "ERMS_tauM=4")
+		if best.Throughput <= van.Throughput || best.Locality <= van.Locality {
+			t.Errorf("full-scale FIFO: vanilla %.1f/%.3f vs ERMS %.1f/%.3f",
+				van.Throughput, van.Locality, best.Throughput, best.Locality)
+		}
+	})
+
+	t.Run("Fig6", func(t *testing.T) {
+		rows := Fig6(Fig6Config{}) // 1 GB, r=1..6, threads 7..35
+		get := func(threads, repl int) float64 {
+			for _, r := range rows {
+				if r.Threads == threads && r.Replication == repl {
+					return r.AvgExecSec
+				}
+			}
+			return 0
+		}
+		if !(get(35, 1) > get(35, 6)) || !(get(7, 3) < get(35, 3)) {
+			t.Error("full-scale Fig6 ordering broken")
+		}
+	})
+
+	t.Run("Fig7", func(t *testing.T) {
+		for _, r := range Fig7(Fig7Config{}) { // 64 MB .. 8 GB
+			if r.WholeSec >= r.ByOneSec {
+				t.Errorf("size %s: whole %.1f >= one-by-one %.1f",
+					sizeLabel(r.Size), r.WholeSec, r.ByOneSec)
+			}
+		}
+	})
+
+	t.Run("Fig8", func(t *testing.T) {
+		rows := Fig8(Fig89Config{}, []int{1, 2, 4, 6, 8}) // 1 GB file
+		get := func(m StorageModel, repl int) int {
+			for _, r := range rows {
+				if r.Model == m && r.Replication == repl {
+					return r.MaxClients
+				}
+			}
+			return 0
+		}
+		// τ_M calibration: one replica holds ~8-12 concurrent readers.
+		if got := get(AllActive, 1); got < 6 || got > 14 {
+			t.Errorf("per-replica capacity = %d, want ~8-12", got)
+		}
+		if get(ActiveStandby, 8) < get(AllActive, 8)-2 {
+			t.Errorf("active/standby fell behind at r=8: %d vs %d",
+				get(ActiveStandby, 8), get(AllActive, 8))
+		}
+	})
+
+	t.Run("Fig9", func(t *testing.T) {
+		rows := Fig9(Fig89Config{}, 70, []int{2, 4, 6, 8})
+		for _, m := range []StorageModel{AllActive, ActiveStandby} {
+			var prev float64
+			for _, repl := range []int{2, 4, 6, 8} {
+				for _, r := range rows {
+					if r.Model == m && r.Replication == repl {
+						if r.Throughput < prev*0.95 {
+							t.Errorf("%v: throughput regressed at r=%d", m, repl)
+						}
+						prev = r.Throughput
+					}
+				}
+			}
+		}
+	})
+}

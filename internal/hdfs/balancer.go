@@ -1,0 +1,173 @@
+package hdfs
+
+import (
+	"math"
+	"sort"
+)
+
+// BalancerReport summarizes one balancer run.
+type BalancerReport struct {
+	// MovesDone is the number of block replicas relocated.
+	MovesDone int
+	// MovesFailed counts moves that could not complete.
+	MovesFailed int
+	// BytesMoved is the replication traffic the balancing cost.
+	BytesMoved float64
+	// SpreadBefore/SpreadAfter are the max-min utilization gaps across
+	// active nodes (fractions of capacity).
+	SpreadBefore, SpreadAfter float64
+}
+
+// UtilizationSpread returns the max-min utilization gap over active nodes.
+func (c *Cluster) UtilizationSpread() float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, d := range c.datanodes {
+		if d.State != StateActive || d.Capacity <= 0 {
+			continue
+		}
+		u := d.Used / d.Capacity
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return max - min
+}
+
+// Balance runs the HDFS balancer: block replicas move from over-utilized
+// to under-utilized active nodes until every node sits within `threshold`
+// (a fraction of capacity) of the cluster mean, or no productive move
+// remains. Moves are real copy-then-delete transfers that consume disk
+// and network bandwidth — the cost ERMS's standby-first deletion policy
+// is designed to avoid. done receives the report when the cluster settles.
+func (c *Cluster) Balance(threshold float64, maxConcurrent int, done func(BalancerReport)) {
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	if maxConcurrent <= 0 {
+		maxConcurrent = 4
+	}
+	report := &BalancerReport{SpreadBefore: c.UtilizationSpread()}
+	inFlight := 0
+	finished := false
+	moving := map[BlockID]bool{} // blocks with a move in flight
+	var pump func()
+
+	finish := func() {
+		if finished {
+			return
+		}
+		finished = true
+		report.SpreadAfter = c.UtilizationSpread()
+		if done != nil {
+			done(*report)
+		}
+	}
+
+	mean := func() float64 {
+		var sum float64
+		n := 0
+		for _, d := range c.datanodes {
+			if d.State == StateActive && d.Capacity > 0 {
+				sum += d.Used / d.Capacity
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+
+	// planMove picks the most over-utilized source, the most
+	// under-utilized eligible target, and a block to shift between them.
+	planMove := func() (BlockID, DatanodeID, DatanodeID, bool) {
+		avg := mean()
+		var nodes []*Datanode
+		for _, d := range c.datanodes {
+			if d.State == StateActive && d.Capacity > 0 {
+				nodes = append(nodes, d)
+			}
+		}
+		sort.Slice(nodes, func(i, j int) bool {
+			ui := nodes[i].Used / nodes[i].Capacity
+			uj := nodes[j].Used / nodes[j].Capacity
+			if ui != uj {
+				return ui > uj
+			}
+			return nodes[i].ID < nodes[j].ID
+		})
+		for _, src := range nodes {
+			if src.Used/src.Capacity <= avg+threshold {
+				break // sorted: nobody further is over
+			}
+			// Candidate blocks on src, deterministic order.
+			var blocks []BlockID
+			for bid := range src.blocks {
+				blocks = append(blocks, bid)
+			}
+			sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+			for t := len(nodes) - 1; t >= 0; t-- {
+				dst := nodes[t]
+				if dst.Used/dst.Capacity >= avg-threshold {
+					break // sorted: nobody further is under
+				}
+				for _, bid := range blocks {
+					b := c.blocks[bid]
+					if moving[bid] || dst.HasBlock(bid) || dst.UncommittedFree() < b.Size {
+						continue
+					}
+					// Moving must actually narrow the gap.
+					if src.Used/src.Capacity-b.Size/src.Capacity < avg-threshold {
+						continue
+					}
+					return bid, src.ID, dst.ID, true
+				}
+			}
+		}
+		return 0, 0, 0, false
+	}
+
+	pump = func() {
+		for inFlight < maxConcurrent {
+			bid, src, dst, ok := planMove()
+			if !ok {
+				break
+			}
+			inFlight++
+			moving[bid] = true
+			b := c.blocks[bid]
+			c.moveReplica(bid, src, dst, func(err error) {
+				inFlight--
+				delete(moving, bid)
+				if err != nil {
+					report.MovesFailed++
+				} else {
+					report.MovesDone++
+					report.BytesMoved += b.Size
+				}
+				pump()
+			})
+		}
+		if inFlight == 0 {
+			finish()
+		}
+	}
+	pump()
+}
+
+// moveReplica copies block bid to dst and then removes it from src.
+func (c *Cluster) moveReplica(bid BlockID, src, dst DatanodeID, done func(error)) {
+	c.AddReplica(bid, dst, func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		done(c.RemoveReplica(bid, src))
+	})
+}

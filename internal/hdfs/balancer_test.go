@@ -1,0 +1,115 @@
+package hdfs
+
+import (
+	"testing"
+
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+// skewedCluster builds a small-capacity cluster with all data piled onto
+// writer node 0.
+func skewedCluster(t *testing.T) (*sim.Engine, *Cluster) {
+	t.Helper()
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{})
+	c := New(e, Config{
+		Topology:     topo,
+		NodeCapacity: 4 * 1024 * mb, // 4 GB nodes so utilization is visible
+	})
+	// 30 single-replica files of 128 MB, all written by node 0: node 0
+	// carries ~3.75 GB (94%), everyone else 0.
+	for i := 0; i < 30; i++ {
+		if _, err := c.CreateFile("/skew/"+string(rune('a'+i)), 128*mb, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, c
+}
+
+func TestBalancerNarrowsSpread(t *testing.T) {
+	e, c := skewedCluster(t)
+	before := c.UtilizationSpread()
+	if before < 0.5 {
+		t.Fatalf("setup not skewed: spread = %v", before)
+	}
+	var rep BalancerReport
+	done := false
+	c.Balance(0.05, 4, func(r BalancerReport) { rep = r; done = true })
+	e.Run()
+	if !done {
+		t.Fatal("balancer never finished")
+	}
+	if rep.SpreadBefore != before {
+		t.Fatalf("report before = %v, want %v", rep.SpreadBefore, before)
+	}
+	if rep.SpreadAfter >= rep.SpreadBefore/2 {
+		t.Fatalf("spread barely narrowed: %v -> %v", rep.SpreadBefore, rep.SpreadAfter)
+	}
+	if rep.MovesDone == 0 || rep.BytesMoved == 0 {
+		t.Fatalf("no moves recorded: %+v", rep)
+	}
+	if rep.MovesFailed != 0 {
+		t.Fatalf("moves failed: %+v", rep)
+	}
+	checkConsistency(t, c)
+	// Replica counts unchanged: moves relocate, never add or drop.
+	for _, p := range c.FilePaths() {
+		if got := c.ReplicationOf(p); got != 1 {
+			t.Fatalf("%s replication = %d after balancing", p, got)
+		}
+	}
+}
+
+func TestBalancedClusterIsANoop(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{})
+	c := New(e, Config{Topology: topo, NodeCapacity: 4 * 1024 * mb})
+	// Spread-writer files: already balanced.
+	for i := 0; i < 18; i++ {
+		if _, err := c.CreateFile("/f"+string(rune('a'+i)), 128*mb, 1,
+			topology.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rep BalancerReport
+	c.Balance(0.1, 4, func(r BalancerReport) { rep = r })
+	e.Run()
+	if rep.MovesDone != 0 {
+		t.Fatalf("balancer moved %d blocks on a balanced cluster", rep.MovesDone)
+	}
+}
+
+func TestUtilizationSpreadIgnoresInactiveNodes(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{})
+	c := New(e, Config{Topology: topo, NodeCapacity: 1024 * mb,
+		StandbyNodes: []DatanodeID{17}})
+	c.CreateFile("/f", 512*mb, 1, 0)
+	s1 := c.UtilizationSpread()
+	c.Kill(16)
+	s2 := c.UtilizationSpread()
+	if s1 != s2 {
+		t.Fatalf("dead/standby nodes should not affect spread: %v vs %v", s1, s2)
+	}
+	if s1 <= 0 {
+		t.Fatal("spread should be positive with node 0 loaded")
+	}
+}
+
+func TestBalancerRespectsThreshold(t *testing.T) {
+	e, c := skewedCluster(t)
+	var loose, _ignored BalancerReport
+	c.Balance(0.5, 4, func(r BalancerReport) { loose = r })
+	e.Run()
+	_ = _ignored
+	// With a huge threshold nothing is out of band except the extreme
+	// writer node; the balancer stops as soon as it re-enters the band,
+	// moving far fewer blocks than a tight run would.
+	if loose.MovesDone > 15 {
+		t.Fatalf("loose threshold moved %d blocks", loose.MovesDone)
+	}
+	if loose.SpreadAfter > loose.SpreadBefore {
+		t.Fatal("balancing made things worse")
+	}
+}

@@ -1,0 +1,76 @@
+package hdfs
+
+import (
+	"fmt"
+	"testing"
+
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+func benchCluster(b *testing.B) (*sim.Engine, *Cluster) {
+	b.Helper()
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{})
+	return e, New(e, Config{Topology: topo})
+}
+
+// BenchmarkConcurrentReads measures the full read path — replica
+// selection, session admission, flow simulation — for a burst of clients.
+func BenchmarkConcurrentReads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, c := benchCluster(b)
+		if _, err := c.CreateFile("/f", 1024*mb, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < 50; k++ {
+			c.ReadFileAt(ExternalClient, "/f", k, nil)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkSetReplicationWhole measures the grow machinery.
+func BenchmarkSetReplicationWhole(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, c := benchCluster(b)
+		if _, err := c.CreateFile("/f", 512*mb, 3, -1); err != nil {
+			b.Fatal(err)
+		}
+		c.SetReplication("/f", 8, WholeAtOnce, nil)
+		e.Run()
+	}
+}
+
+// BenchmarkEncodeDecode measures the erasure lifecycle on the cluster.
+func BenchmarkEncodeDecode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, c := benchCluster(b)
+		if _, err := c.CreateFile("/f", 640*mb, 3, -1); err != nil {
+			b.Fatal(err)
+		}
+		c.EncodeFile("/f", 10, 4, func(err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.DecodeFile("/f", 3, nil)
+		})
+		e.Run()
+	}
+}
+
+// BenchmarkPlacementChoice isolates target selection on a loaded cluster.
+func BenchmarkPlacementChoice(b *testing.B) {
+	_, c := benchCluster(b)
+	for i := 0; i < 50; i++ {
+		if _, err := c.CreateFile(fmt.Sprintf("/f%02d", i), 256*mb, 3, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	blk := c.File("/f00").Blocks[0]
+	p := c.PlacementPolicy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ChooseTargets(c, c.Block(blk), 3, -1, nil)
+	}
+}

@@ -1,0 +1,399 @@
+package hdfs
+
+import (
+	"fmt"
+
+	"erms/internal/erasure"
+	"erms/internal/netsim"
+	"erms/internal/topology"
+)
+
+// EncodeFile erasure-codes a cold file: its data blocks are grouped into
+// stripes of up to k, each stripe gains m parity blocks (placed by the
+// installed policy, which for ERMS picks the active node holding the
+// fewest blocks of the file), and once all parities land the file's data
+// replication drops to one ("a replication factor of one and four coding
+// parities"). The encode streams every data block to an encoder node and
+// the parities from it to their targets, so it costs real cluster
+// bandwidth; done(err) fires when the file is fully converted.
+func (c *Cluster) EncodeFile(path string, k, m int, done func(error)) {
+	f := c.files[path]
+	if f == nil {
+		c.finish(done, fmt.Errorf("hdfs: no such file %q", path))
+		return
+	}
+	if f.Encoded {
+		c.finish(done, fmt.Errorf("hdfs: %q is already encoded", path))
+		return
+	}
+	if k <= 0 || m <= 0 {
+		c.finish(done, fmt.Errorf("hdfs: invalid stripe RS(%d,%d)", k, m))
+		return
+	}
+	// Validate geometry early — the real codec would be built per stripe.
+	if _, err := erasure.NewCodec(k, m); err != nil {
+		c.finish(done, err)
+		return
+	}
+	f.EncodeK, f.EncodeM = k, m
+	stripes := (len(f.Blocks) + k - 1) / k
+	outstanding := 0
+	var firstErr error
+	launched := false
+	complete := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		outstanding--
+		if outstanding == 0 && launched {
+			c.finishEncode(f, firstErr, done)
+		}
+	}
+	for s := 0; s < stripes; s++ {
+		lo := s * k
+		hi := lo + k
+		if hi > len(f.Blocks) {
+			hi = len(f.Blocks)
+		}
+		stripe := f.Blocks[lo:hi]
+		// Parities of one stripe must land on distinct nodes (they are
+		// shards of the same codeword); targets chosen in this burst are
+		// excluded for the stripe's remaining parities.
+		exclude := map[DatanodeID]bool{}
+		for p := 0; p < m; p++ {
+			pb := &Block{
+				ID:     c.nextBlock,
+				File:   path,
+				Index:  len(f.Blocks) + s*m + p,
+				Size:   c.cfg.BlockSize,
+				Parity: true,
+				Group:  s,
+			}
+			c.nextBlock++
+			c.blocks[pb.ID] = pb
+			f.Parity = append(f.Parity, pb.ID)
+			targets := c.placement.ChooseTargets(c, pb, 1, -1, exclude)
+			if len(targets) == 0 {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("hdfs: no target for parity of %q", path)
+				}
+				continue
+			}
+			exclude[targets[0]] = true
+			outstanding++
+			c.writeParity(stripe, pb, targets[0], complete)
+		}
+	}
+	launched = true
+	if outstanding == 0 {
+		c.finish(done, firstErr)
+	}
+}
+
+// writeParity streams the stripe's data blocks to the parity target (the
+// encoder runs there) and accounts the parity write on its disk.
+func (c *Cluster) writeParity(stripe []BlockID, pb *Block, target DatanodeID, done func(error)) {
+	td := c.datanodes[target]
+	if td.UncommittedFree() < pb.Size {
+		c.finish(done, fmt.Errorf("hdfs: %s out of space for parity", td.Name))
+		return
+	}
+	// Read each stripe block from its least-loaded replica to the encoder.
+	remaining := len(stripe)
+	var firstErr error
+	if remaining == 0 {
+		c.finish(done, fmt.Errorf("hdfs: empty stripe"))
+		return
+	}
+	for _, bid := range stripe {
+		b := c.blocks[bid]
+		src, ok := c.chooseSource(bid, target)
+		if !ok {
+			remaining--
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hdfs: no source for block %d during encode", bid)
+			}
+			continue
+		}
+		sd := c.datanodes[src]
+		path := c.topo.ReadPath(topology.NodeID(src), topology.NodeID(target))
+		flow := c.fabric.StartFlow(path, b.Size, 0, func(f *netsim.Flow) {
+			delete(sd.activeFlows, f)
+			remaining--
+			if remaining == 0 {
+				c.commitParity(pb, target, firstErr, done)
+			}
+		})
+		sd.activeFlows[flow] = func() {
+			remaining--
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hdfs: source died during encode of %q", pb.File)
+			}
+			if remaining == 0 {
+				c.commitParity(pb, target, firstErr, done)
+			}
+		}
+	}
+	if remaining == 0 {
+		c.finish(done, firstErr)
+	}
+}
+
+func (c *Cluster) commitParity(pb *Block, target DatanodeID, err error, done func(error)) {
+	if err != nil {
+		c.finish(done, err)
+		return
+	}
+	td := c.datanodes[target]
+	if td.State == StateDown {
+		c.finish(done, fmt.Errorf("hdfs: parity target %s died", td.Name))
+		return
+	}
+	// Local parity write: consumes the encoder's disk for one block.
+	flow := c.fabric.StartFlow([]topology.LinkID{c.topo.Node(topology.NodeID(target)).Disk},
+		pb.Size, 0, func(*netsim.Flow) {
+			c.attachReplica(pb, target)
+			c.finish(done, nil)
+		})
+	_ = flow
+}
+
+// KeeperChooser is an optional placement-policy extension: when a file is
+// encoded down to one replica per block, ChooseKeeper picks which replica
+// survives. stripeLoad counts stripe members (kept data + parity) already
+// resident per node; keeping members on distinct nodes preserves the
+// code's full failure tolerance.
+type KeeperChooser interface {
+	ChooseKeeper(c *Cluster, b *Block, stripeLoad map[DatanodeID]int) (DatanodeID, bool)
+}
+
+// finishEncode drops data replication to one replica per block and marks
+// the file encoded. The surviving replica of each block is chosen
+// stripe-aware: RS(k,m) only tolerates m lost *shards*, so two stripe
+// members sharing a disk would turn one node failure into two shard
+// losses.
+func (c *Cluster) finishEncode(f *INode, err error, done func(error)) {
+	if err != nil {
+		c.finish(done, err)
+		return
+	}
+	k := f.EncodeK
+	if k <= 0 {
+		k = len(f.Blocks)
+	}
+	keeperPolicy, _ := c.placement.(KeeperChooser)
+	stripes := (len(f.Blocks) + k - 1) / k
+	for s := 0; s < stripes; s++ {
+		lo, hi := s*k, (s+1)*k
+		if hi > len(f.Blocks) {
+			hi = len(f.Blocks)
+		}
+		// Seed the per-node stripe census with this stripe's parities.
+		load := map[DatanodeID]int{}
+		for _, pid := range f.Parity {
+			if c.blocks[pid].Group != s {
+				continue
+			}
+			for _, r := range c.replicas[pid] {
+				load[r]++
+			}
+		}
+		for _, bid := range f.Blocks[lo:hi] {
+			b := c.blocks[bid]
+			var keeper DatanodeID
+			ok := false
+			if keeperPolicy != nil {
+				keeper, ok = keeperPolicy.ChooseKeeper(c, b, load)
+			}
+			if !ok {
+				keeper, ok = c.defaultKeeper(b, load)
+			}
+			if !ok {
+				continue
+			}
+			for _, dn := range append([]DatanodeID(nil), c.replicas[bid]...) {
+				if dn == keeper {
+					continue
+				}
+				if e := c.RemoveReplica(bid, dn); e != nil {
+					break
+				}
+			}
+			load[keeper]++
+		}
+	}
+	f.Encoded = true
+	c.metrics.FilesEncoded++
+	c.finish(done, nil)
+}
+
+// defaultKeeper keeps the replica whose node hosts the fewest stripe
+// members (then the lightest node, then the smallest ID).
+func (c *Cluster) defaultKeeper(b *Block, stripeLoad map[DatanodeID]int) (DatanodeID, bool) {
+	var best DatanodeID = -1
+	bestKey := [3]int{1 << 30, 1 << 30, 1 << 30}
+	for _, r := range c.replicas[b.ID] {
+		d := c.datanodes[r]
+		if d.State == StateDown {
+			continue
+		}
+		key := [3]int{stripeLoad[r], d.PlacementLoad(), int(r)}
+		if best < 0 || less3(key, bestKey) {
+			best, bestKey = r, key
+		}
+	}
+	return best, best >= 0
+}
+
+// stripeOf returns the data and parity block IDs of the stripe containing
+// data block bid, plus k (data blocks in this stripe).
+func (c *Cluster) stripeOf(f *INode, bid BlockID) (data, parity []BlockID, ok bool) {
+	b := c.blocks[bid]
+	if b == nil {
+		return nil, nil, false
+	}
+	if len(f.Parity) == 0 || len(f.Blocks) == 0 || f.EncodeK <= 0 {
+		return nil, nil, false
+	}
+	k := f.EncodeK
+	group := b.Index / k
+	lo, hi := group*k, (group+1)*k
+	if hi > len(f.Blocks) {
+		hi = len(f.Blocks)
+	}
+	data = f.Blocks[lo:hi]
+	for _, pid := range f.Parity {
+		if c.blocks[pid].Group == group {
+			parity = append(parity, pid)
+		}
+	}
+	return data, parity, true
+}
+
+// ReconstructBlock rebuilds a lost data block of an encoded file from its
+// surviving stripe members, placing the rebuilt block on a policy-chosen
+// node. done(err) fires when the block is live again.
+func (c *Cluster) ReconstructBlock(bid BlockID, done func(error)) {
+	b := c.blocks[bid]
+	if b == nil {
+		c.finish(done, fmt.Errorf("hdfs: no such block %d", bid))
+		return
+	}
+	f := c.files[b.File]
+	if f == nil || !f.Encoded {
+		c.finish(done, fmt.Errorf("hdfs: block %d is not erasure-protected", bid))
+		return
+	}
+	if len(c.replicas[bid]) > 0 {
+		c.finish(done, nil) // nothing lost
+		return
+	}
+	data, parity, ok := c.stripeOf(f, bid)
+	if !ok {
+		c.finish(done, fmt.Errorf("hdfs: no stripe for block %d", bid))
+		return
+	}
+	// Need k live members of the stripe (any mix of data+parity).
+	k := len(data)
+	var sources []BlockID
+	for _, cand := range append(append([]BlockID{}, data...), parity...) {
+		if cand == bid {
+			continue
+		}
+		if len(c.replicas[cand]) > 0 {
+			sources = append(sources, cand)
+		}
+		if len(sources) == k {
+			break
+		}
+	}
+	if len(sources) < k {
+		c.finish(done, fmt.Errorf("hdfs: stripe of block %d has only %d of %d members live",
+			bid, len(sources), k))
+		return
+	}
+	targets := c.placement.ChooseTargets(c, b, 1, -1, nil)
+	if len(targets) == 0 {
+		c.finish(done, fmt.Errorf("hdfs: no target to rebuild block %d", bid))
+		return
+	}
+	target := targets[0]
+	// Stream the k sources to the rebuild target, then a local disk write.
+	remaining := len(sources)
+	var firstErr error
+	for _, sid := range sources {
+		sb := c.blocks[sid]
+		src, ok := c.chooseSource(sid, target)
+		if !ok {
+			remaining--
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hdfs: lost source %d mid-rebuild", sid)
+			}
+			continue
+		}
+		sd := c.datanodes[src]
+		path := c.topo.ReadPath(topology.NodeID(src), topology.NodeID(target))
+		flow := c.fabric.StartFlow(path, sb.Size, 0, func(fl *netsim.Flow) {
+			delete(sd.activeFlows, fl)
+			remaining--
+			if remaining == 0 {
+				c.commitRebuild(b, target, firstErr, done)
+			}
+		})
+		sd.activeFlows[flow] = func() {
+			remaining--
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hdfs: source died during rebuild")
+			}
+			if remaining == 0 {
+				c.commitRebuild(b, target, firstErr, done)
+			}
+		}
+	}
+	if remaining == 0 {
+		c.finish(done, firstErr)
+	}
+}
+
+func (c *Cluster) commitRebuild(b *Block, target DatanodeID, err error, done func(error)) {
+	if err != nil {
+		c.finish(done, err)
+		return
+	}
+	td := c.datanodes[target]
+	if td.State == StateDown || td.UncommittedFree() < b.Size {
+		c.finish(done, fmt.Errorf("hdfs: rebuild target %s unusable", td.Name))
+		return
+	}
+	c.fabric.StartFlow([]topology.LinkID{c.topo.Node(topology.NodeID(target)).Disk},
+		b.Size, 0, func(*netsim.Flow) {
+			c.attachReplica(b, target)
+			c.metrics.BlocksRebuilt++
+			c.finish(done, nil)
+		})
+}
+
+// DecodeFile restores an encoded file to plain replication n: every block
+// is re-replicated to n and the parities are dropped.
+func (c *Cluster) DecodeFile(path string, n int, done func(error)) {
+	f := c.files[path]
+	if f == nil {
+		c.finish(done, fmt.Errorf("hdfs: no such file %q", path))
+		return
+	}
+	if !f.Encoded {
+		c.finish(done, fmt.Errorf("hdfs: %q is not encoded", path))
+		return
+	}
+	f.Encoded = false
+	for _, pid := range f.Parity {
+		pb := c.blocks[pid]
+		for _, dn := range append([]DatanodeID(nil), c.replicas[pid]...) {
+			c.detachReplica(pb, dn)
+		}
+		delete(c.blocks, pid)
+		delete(c.replicas, pid)
+	}
+	f.Parity = nil
+	c.SetReplication(path, n, WholeAtOnce, done)
+}

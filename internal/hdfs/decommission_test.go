@@ -1,0 +1,126 @@
+package hdfs
+
+import (
+	"testing"
+	"time"
+
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+func TestDecommissionDrainsAndRetires(t *testing.T) {
+	e, c := newCluster(t)
+	c.CreateFile("/a", 256*mb, 3, 0)
+	c.CreateFile("/b", 128*mb, 3, 0)
+	victim := DatanodeID(0) // writer node: holds every first replica
+	held := c.Datanode(victim).NumBlocks()
+	if held == 0 {
+		t.Fatal("setup: victim holds nothing")
+	}
+	var err error
+	done := false
+	c.Decommission(victim, func(e2 error) { err = e2; done = true })
+	if got := c.Datanode(victim).State; got != StateDecommissioning {
+		t.Fatalf("state during drain = %v", got)
+	}
+	e.Run()
+	if !done || err != nil {
+		t.Fatalf("drain: done=%v err=%v", done, err)
+	}
+	d := c.Datanode(victim)
+	if d.State != StateDecommissioned {
+		t.Fatalf("state = %v", d.State)
+	}
+	if d.NumBlocks() != 0 {
+		t.Fatalf("node still holds %d blocks", d.NumBlocks())
+	}
+	// No block lost replication.
+	for _, p := range []string{"/a", "/b"} {
+		for _, bid := range c.File(p).Blocks {
+			if got := len(c.Replicas(bid)); got != 3 {
+				t.Fatalf("%s block %d has %d replicas", p, bid, got)
+			}
+			for _, r := range c.Replicas(bid) {
+				if r == victim {
+					t.Fatalf("block %d still maps to the retired node", bid)
+				}
+			}
+		}
+	}
+	checkConsistency(t, c)
+}
+
+func TestDecommissioningNodeStillServes(t *testing.T) {
+	e, c := newCluster(t)
+	c.CreateFile("/a", 64*mb, 1, 0) // only replica on node 0
+	var res *ReadResult
+	c.Decommission(0, nil)
+	// Read while the drain is in flight: the decommissioning node must
+	// still serve (it is the only holder).
+	c.ReadFile(5, "/a", func(r *ReadResult) { res = r })
+	e.RunUntil(30 * time.Second)
+	if res == nil || res.Err != nil {
+		t.Fatalf("read during drain failed: %+v", res)
+	}
+	e.Run()
+	if c.Datanode(0).State != StateDecommissioned {
+		t.Fatal("drain never finished")
+	}
+}
+
+func TestDecommissionRequiresActive(t *testing.T) {
+	e, c := newCluster(t, 17)
+	var err error
+	c.Decommission(17, func(e2 error) { err = e2 }) // standby node
+	e.Run()
+	if err == nil {
+		t.Fatal("decommissioning a standby node should fail")
+	}
+}
+
+func TestDecommissionWithNoTargetsReportsError(t *testing.T) {
+	// A 3-node cluster with 3x replication: nowhere to drain to.
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{Racks: 3, NodeCount: 3})
+	c := New(e, Config{Topology: topo})
+	c.CreateFile("/a", 64*mb, 3, 0)
+	var err error
+	done := false
+	c.Decommission(0, func(e2 error) { err = e2; done = true })
+	e.Run()
+	if !done || err == nil {
+		t.Fatalf("expected drain error: done=%v err=%v", done, err)
+	}
+	if c.Datanode(0).State != StateDecommissioning {
+		t.Fatal("node should stay decommissioning when the drain stalls")
+	}
+	// Data is still fully available through the stuck node.
+	var res *ReadResult
+	c.ReadFile(1, "/a", func(r *ReadResult) { res = r })
+	e.Run()
+	if res == nil || res.Err != nil {
+		t.Fatalf("read failed: %+v", res)
+	}
+}
+
+func TestDecommissionedNodeGetsNoNewReplicas(t *testing.T) {
+	e, c := newCluster(t)
+	c.CreateFile("/a", 64*mb, 2, 0)
+	var derr error
+	c.Decommission(5, func(e2 error) { derr = e2 })
+	e.Run()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	var rerr error
+	c.SetReplication("/a", 10, WholeAtOnce, func(e2 error) { rerr = e2 })
+	e.Run()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, r := range c.Replicas(c.File("/a").Blocks[0]) {
+		if r == 5 {
+			t.Fatal("retired node received a replica")
+		}
+	}
+}

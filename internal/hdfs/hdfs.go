@@ -1,0 +1,543 @@
+// Package hdfs is a discrete-event model of the Hadoop Distributed File
+// System as the ERMS paper uses it: a namenode (namespace + block map +
+// pluggable replica placement), datanodes with finite disk bandwidth,
+// session limits and capacities, a client read path with replica selection
+// and retry, a replication engine for adding/removing replicas, erasure
+// coding of cold files, datanode failure with re-replication, and audit
+// log emission.
+//
+// All I/O is simulated as flows on a netsim.Fabric, so contention (many
+// readers piling onto a hot replica, rack uplink saturation) emerges from
+// the model rather than being scripted.
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"erms/internal/auditlog"
+	"erms/internal/netsim"
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+// BlockID identifies a block cluster-wide.
+type BlockID int64
+
+// DatanodeID indexes a datanode; it equals the topology.NodeID the
+// datanode runs on.
+type DatanodeID int
+
+// NodeState is a datanode's availability state. Active and Standby
+// implement the paper's Active/Standby storage model; vanilla HDFS marks
+// every node Active.
+type NodeState int
+
+// Datanode states.
+const (
+	// StateActive nodes serve reads and receive default-policy replicas.
+	StateActive NodeState = iota
+	// StateStandby nodes are powered off; ERMS commissions them to absorb
+	// hot-data replicas. They hold data but serve nothing while standby.
+	StateStandby
+	// StateDown nodes have failed; their replicas are lost until
+	// re-replicated.
+	StateDown
+	// StateDecommissioning nodes are being drained: they keep serving
+	// reads and replication sources but receive no new replicas.
+	StateDecommissioning
+	// StateDecommissioned nodes have been fully drained and removed from
+	// service.
+	StateDecommissioned
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateStandby:
+		return "standby"
+	case StateDown:
+		return "down"
+	case StateDecommissioning:
+		return "decommissioning"
+	case StateDecommissioned:
+		return "decommissioned"
+	}
+	return "unknown"
+}
+
+// serves reports whether a node in this state answers client reads.
+func (s NodeState) serves() bool {
+	return s == StateActive || s == StateDecommissioning
+}
+
+// Block is one block of a file (data or erasure parity).
+type Block struct {
+	ID     BlockID
+	File   string
+	Index  int
+	Size   float64
+	Parity bool
+	Group  int // stripe group for erasure coding
+}
+
+// INode is a file's namespace entry.
+type INode struct {
+	Path       string
+	Size       float64
+	Blocks     []BlockID
+	Parity     []BlockID
+	TargetRepl int
+	Encoded    bool
+	CreatedAt  time.Duration
+	// EncodeK/EncodeM record the stripe geometry once Encoded.
+	EncodeK, EncodeM int
+}
+
+// Datanode models one storage server.
+type Datanode struct {
+	ID           DatanodeID
+	Name         string
+	State        NodeState
+	Capacity     float64
+	Used         float64
+	MaxSessions  int
+	sessions     int
+	xferOut      int     // outbound replication transfers in flight
+	pendingAdds  int     // inbound replicas scheduled but not yet landed
+	pendingBytes float64 // bytes those pending replicas will occupy
+	waiting      []*pendingSession
+	blocks       map[BlockID]bool
+	// activeFlows tracks flows being served *from* this node so they can be
+	// killed with it.
+	activeFlows map[*netsim.Flow]func() // flow -> abort handler
+	// activeUptime accumulates time spent non-standby, for energy
+	// accounting.
+	activeSince time.Duration
+	ActiveTime  time.Duration
+}
+
+type pendingSession struct {
+	start    func()
+	abort    func()
+	canceled bool
+}
+
+// Sessions returns the number of in-flight serving sessions.
+func (d *Datanode) Sessions() int { return d.sessions }
+
+// QueueLen returns the number of admissions waiting for a session slot.
+func (d *Datanode) QueueLen() int { return len(d.waiting) }
+
+// HasBlock reports whether the datanode stores a replica of b.
+func (d *Datanode) HasBlock(b BlockID) bool { return d.blocks[b] }
+
+// NumBlocks returns the number of replicas the node stores.
+func (d *Datanode) NumBlocks() int { return len(d.blocks) }
+
+// PendingAdds returns inbound replica copies scheduled but not landed.
+// Placement policies add it to NumBlocks so a burst of concurrent
+// placements (whole-at-once replication) spreads instead of piling onto
+// the momentarily-emptiest node.
+func (d *Datanode) PendingAdds() int { return d.pendingAdds }
+
+// PlacementLoad is the load metric placement policies sort by.
+func (d *Datanode) PlacementLoad() int { return len(d.blocks) + d.pendingAdds }
+
+// Free returns remaining capacity in bytes.
+func (d *Datanode) Free() float64 { return d.Capacity - d.Used }
+
+// UncommittedFree returns capacity not yet spoken for: free space minus
+// the bytes of replica copies already in flight toward this node.
+// Admission checks use it so a burst of concurrent copies cannot
+// oversubscribe a disk.
+func (d *Datanode) UncommittedFree() float64 { return d.Capacity - d.Used - d.pendingBytes }
+
+// OpenActiveInterval returns how long the node has been active since its
+// last state transition (zero when it is not currently active). Together
+// with ActiveTime it gives total uptime for energy accounting.
+func (d *Datanode) OpenActiveInterval(now time.Duration) time.Duration {
+	if d.State != StateActive {
+		return 0
+	}
+	return now - d.activeSince
+}
+
+// Config sizes the simulated HDFS cluster.
+type Config struct {
+	Topology *topology.Topology // required
+	// BlockSize defaults to 64 MB (the paper's Hadoop 0.20 default).
+	BlockSize float64
+	// DefaultReplication defaults to 3.
+	DefaultReplication int
+	// NodeCapacity defaults to 250 GB per datanode.
+	NodeCapacity float64
+	// MaxSessionsPerNode bounds concurrent serving sessions per datanode
+	// ("a datanode can simultaneously support a limited number of
+	// sessions"); excess requests queue. Defaults to 64.
+	MaxSessionsPerNode int
+	// ReplCommandLatency models the delay before a datanode acts on a
+	// replication command (commands piggyback on heartbeats in HDFS).
+	// Defaults to 1s. Each SetReplication round pays it once, which is why
+	// raising the factor one step at a time loses to going straight to the
+	// target (the paper's Figure 7).
+	ReplCommandLatency time.Duration
+	// StandbyNodes marks these datanodes standby at start (ERMS model).
+	StandbyNodes []DatanodeID
+	// KeepAuditRecords retains audit records in memory (tests/trace export).
+	KeepAuditRecords bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64 * topology.MB
+	}
+	if c.DefaultReplication <= 0 {
+		c.DefaultReplication = 3
+	}
+	if c.NodeCapacity <= 0 {
+		c.NodeCapacity = 250 * topology.GB
+	}
+	if c.MaxSessionsPerNode <= 0 {
+		c.MaxSessionsPerNode = 64
+	}
+	if c.ReplCommandLatency <= 0 {
+		c.ReplCommandLatency = time.Second
+	}
+}
+
+// Metrics aggregates cluster-wide counters.
+type Metrics struct {
+	ReadsStarted    int
+	ReadsCompleted  int
+	ReadsFailed     int
+	BytesRead       float64
+	BlockReads      int
+	NodeLocalReads  int // block reads served from the client's node
+	RackLocalReads  int // served from the client's rack
+	RemoteReads     int // served across racks
+	ReplicasAdded   int
+	ReplicasRemoved int
+	ReplicationMB   float64 // bytes moved by replication, in MB
+	FilesEncoded    int
+	BlocksRebuilt   int
+}
+
+// BlockReadEvent describes one served block read; ERMS feeds these into the
+// CEP engine alongside the file-level audit log.
+type BlockReadEvent struct {
+	Time     time.Duration
+	Path     string
+	Block    BlockID
+	Datanode DatanodeID
+	Client   topology.NodeID
+}
+
+// Cluster is the simulated HDFS deployment: namenode state plus datanodes.
+type Cluster struct {
+	engine *sim.Engine
+	topo   *topology.Topology
+	fabric *netsim.Fabric
+	cfg    Config
+
+	files     map[string]*INode
+	blocks    map[BlockID]*Block
+	replicas  map[BlockID][]DatanodeID
+	datanodes []*Datanode
+	nextBlock BlockID
+
+	placement Policy
+	audit     *auditlog.Log
+	metrics   Metrics
+
+	activeReads int
+	onBlockRead []func(BlockReadEvent)
+	onDeadNode  []func(DatanodeID)
+}
+
+// New builds a cluster with one datanode per topology node.
+func New(engine *sim.Engine, cfg Config) *Cluster {
+	if cfg.Topology == nil {
+		panic("hdfs: Config.Topology is required")
+	}
+	cfg.applyDefaults()
+	c := &Cluster{
+		engine:   engine,
+		topo:     cfg.Topology,
+		fabric:   netsim.New(engine, cfg.Topology),
+		cfg:      cfg,
+		files:    make(map[string]*INode),
+		blocks:   make(map[BlockID]*Block),
+		replicas: make(map[BlockID][]DatanodeID),
+		audit:    auditlog.NewLog(cfg.KeepAuditRecords),
+	}
+	c.placement = NewDefaultPolicy()
+	standby := map[DatanodeID]bool{}
+	for _, id := range cfg.StandbyNodes {
+		standby[id] = true
+	}
+	for _, n := range cfg.Topology.Nodes {
+		d := &Datanode{
+			ID:          DatanodeID(n.ID),
+			Name:        n.Name,
+			Capacity:    cfg.NodeCapacity,
+			MaxSessions: cfg.MaxSessionsPerNode,
+			blocks:      make(map[BlockID]bool),
+			activeFlows: make(map[*netsim.Flow]func()),
+		}
+		if standby[d.ID] {
+			d.State = StateStandby
+		}
+		c.datanodes = append(c.datanodes, d)
+	}
+	return c
+}
+
+// Engine returns the simulation engine the cluster runs on.
+func (c *Cluster) Engine() *sim.Engine { return c.engine }
+
+// Topology returns the physical layout.
+func (c *Cluster) Topology() *topology.Topology { return c.topo }
+
+// Fabric returns the network simulator (for experiments inspecting link
+// usage).
+func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
+
+// Config returns the cluster configuration (with defaults applied).
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Audit returns the audit log.
+func (c *Cluster) Audit() *auditlog.Log { return c.audit }
+
+// Metrics returns a snapshot of the counters.
+func (c *Cluster) Metrics() Metrics { return c.metrics }
+
+// SetPlacementPolicy installs a pluggable replica placement policy (the
+// paper: "we implement a pluggable replica placement strategy for HDFS").
+func (c *Cluster) SetPlacementPolicy(p Policy) { c.placement = p }
+
+// PlacementPolicy returns the installed policy.
+func (c *Cluster) PlacementPolicy() Policy { return c.placement }
+
+// Datanode returns the datanode with the given ID.
+func (c *Cluster) Datanode(id DatanodeID) *Datanode { return c.datanodes[id] }
+
+// Datanodes returns all datanodes (index == DatanodeID).
+func (c *Cluster) Datanodes() []*Datanode { return c.datanodes }
+
+// NumDatanodes returns the cluster size.
+func (c *Cluster) NumDatanodes() int { return len(c.datanodes) }
+
+// ActiveDatanodes lists datanodes in the given state.
+func (c *Cluster) inState(s NodeState) []DatanodeID {
+	var out []DatanodeID
+	for _, d := range c.datanodes {
+		if d.State == s {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// Active returns the active datanode IDs.
+func (c *Cluster) Active() []DatanodeID { return c.inState(StateActive) }
+
+// Standby returns the standby datanode IDs.
+func (c *Cluster) Standby() []DatanodeID { return c.inState(StateStandby) }
+
+// File returns the INode for path, or nil.
+func (c *Cluster) File(path string) *INode { return c.files[path] }
+
+// FilePaths returns every file path in the namespace, sorted.
+func (c *Cluster) FilePaths() []string {
+	out := make([]string, 0, len(c.files))
+	for p := range c.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Files returns the number of files.
+func (c *Cluster) Files() int { return len(c.files) }
+
+// Block returns block metadata.
+func (c *Cluster) Block(id BlockID) *Block { return c.blocks[id] }
+
+// Replicas returns the datanodes holding block id (do not mutate).
+func (c *Cluster) Replicas(id BlockID) []DatanodeID { return c.replicas[id] }
+
+// ReplicationOf returns the current replica count of a file's first block
+// (files keep uniform replication in this model), or 0 for unknown paths.
+func (c *Cluster) ReplicationOf(path string) int {
+	f := c.files[path]
+	if f == nil || len(f.Blocks) == 0 {
+		return 0
+	}
+	return len(c.replicas[f.Blocks[0]])
+}
+
+// TotalUsed returns bytes stored across all datanodes (Figure 5's storage
+// utilization).
+func (c *Cluster) TotalUsed() float64 {
+	var sum float64
+	for _, d := range c.datanodes {
+		sum += d.Used
+	}
+	return sum
+}
+
+// ActiveReads returns the number of file reads in flight; ERMS's idle probe
+// uses it.
+func (c *Cluster) ActiveReads() int { return c.activeReads }
+
+// OnBlockRead registers a callback fired when a block read completes
+// admission and begins streaming (ERMS's CEP feed).
+func (c *Cluster) OnBlockRead(fn func(BlockReadEvent)) {
+	c.onBlockRead = append(c.onBlockRead, fn)
+}
+
+// OnDatanodeDown registers a callback fired when a datanode dies.
+func (c *Cluster) OnDatanodeDown(fn func(DatanodeID)) {
+	c.onDeadNode = append(c.onDeadNode, fn)
+}
+
+// clientIP fabricates a stable client address for audit records. Negative
+// node IDs (no locality hint) map to the namenode's address.
+func (c *Cluster) clientIP(n topology.NodeID) string {
+	if n < 0 || int(n) >= c.topo.NumNodes() {
+		return "10.0.0.1"
+	}
+	return fmt.Sprintf("10.%d.0.%d", c.topo.Rack(n), int(n))
+}
+
+// CreateFile installs a file of the given size with replication repl
+// (0 means the cluster default), placing replicas with the current policy.
+// Creation is instantaneous (bootstrap); use it to preload datasets. The
+// writer hint places the first replica on that node per HDFS semantics
+// (pass -1 for no locality hint).
+func (c *Cluster) CreateFile(path string, size float64, repl int, writer topology.NodeID) (*INode, error) {
+	if _, ok := c.files[path]; ok {
+		return nil, fmt.Errorf("hdfs: file %q exists", path)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("hdfs: file size must be positive")
+	}
+	if repl <= 0 {
+		repl = c.cfg.DefaultReplication
+	}
+	f := &INode{
+		Path:       path,
+		Size:       size,
+		TargetRepl: repl,
+		CreatedAt:  c.engine.Now(),
+	}
+	nBlocks := int(size / c.cfg.BlockSize)
+	if float64(nBlocks)*c.cfg.BlockSize < size {
+		nBlocks++
+	}
+	for i := 0; i < nBlocks; i++ {
+		bs := c.cfg.BlockSize
+		if i == nBlocks-1 {
+			bs = size - float64(nBlocks-1)*c.cfg.BlockSize
+		}
+		b := &Block{ID: c.nextBlock, File: path, Index: i, Size: bs}
+		c.nextBlock++
+		c.blocks[b.ID] = b
+		f.Blocks = append(f.Blocks, b.ID)
+		targets := c.placement.ChooseTargets(c, b, repl, DatanodeID(writer), nil)
+		if len(targets) == 0 {
+			return nil, fmt.Errorf("hdfs: no targets for block %d of %q", b.ID, path)
+		}
+		for _, t := range targets {
+			c.attachReplica(b, t)
+		}
+	}
+	c.files[path] = f
+	c.audit.Append(auditlog.Record{
+		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		IP: c.clientIP(writer), Cmd: auditlog.CmdCreate, Src: path,
+	})
+	return f, nil
+}
+
+// DeleteFile removes a file and frees its replicas.
+func (c *Cluster) DeleteFile(path string) error {
+	f := c.files[path]
+	if f == nil {
+		return fmt.Errorf("hdfs: no such file %q", path)
+	}
+	for _, ids := range [][]BlockID{f.Blocks, f.Parity} {
+		for _, bid := range ids {
+			b := c.blocks[bid]
+			for _, dn := range append([]DatanodeID(nil), c.replicas[bid]...) {
+				c.detachReplica(b, dn)
+			}
+			delete(c.blocks, bid)
+			delete(c.replicas, bid)
+		}
+	}
+	delete(c.files, path)
+	c.audit.Append(auditlog.Record{
+		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		IP: "10.0.0.1", Cmd: auditlog.CmdDelete, Src: path,
+	})
+	return nil
+}
+
+// Rename moves a file to a new path. Like the real namenode operation it
+// is metadata-only and instantaneous; blocks stay where they are. The
+// audit log records cmd=rename with both paths so downstream consumers
+// (the ERMS judge migrates its per-file heat state) can follow the move.
+func (c *Cluster) Rename(src, dst string) error {
+	f := c.files[src]
+	if f == nil {
+		return fmt.Errorf("hdfs: no such file %q", src)
+	}
+	if _, ok := c.files[dst]; ok {
+		return fmt.Errorf("hdfs: destination %q exists", dst)
+	}
+	delete(c.files, src)
+	f.Path = dst
+	c.files[dst] = f
+	for _, ids := range [][]BlockID{f.Blocks, f.Parity} {
+		for _, bid := range ids {
+			c.blocks[bid].File = dst
+		}
+	}
+	c.audit.Append(auditlog.Record{
+		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		IP: "10.0.0.1", Cmd: auditlog.CmdRename, Src: src, Dst: dst,
+	})
+	return nil
+}
+
+// attachReplica registers a replica on dn (metadata + space).
+func (c *Cluster) attachReplica(b *Block, dn DatanodeID) {
+	d := c.datanodes[dn]
+	if d.blocks[b.ID] {
+		return
+	}
+	d.blocks[b.ID] = true
+	d.Used += b.Size
+	c.replicas[b.ID] = append(c.replicas[b.ID], dn)
+}
+
+// detachReplica removes a replica from dn.
+func (c *Cluster) detachReplica(b *Block, dn DatanodeID) {
+	d := c.datanodes[dn]
+	if !d.blocks[b.ID] {
+		return
+	}
+	delete(d.blocks, b.ID)
+	d.Used -= b.Size
+	reps := c.replicas[b.ID]
+	for i, r := range reps {
+		if r == dn {
+			c.replicas[b.ID] = append(reps[:i], reps[i+1:]...)
+			break
+		}
+	}
+}

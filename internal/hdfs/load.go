@@ -1,0 +1,51 @@
+package hdfs
+
+import (
+	"erms/internal/netsim"
+	"erms/internal/topology"
+)
+
+// StartDiskLoad occupies part of a datanode's disk with `streams` steady
+// synthetic read streams, each capped at rate bytes/s. It models the
+// foreground work a busy active node performs outside the experiment (the
+// paper: "standby nodes might be better than active nodes when the active
+// nodes are heavily used"). Each stream holds one serving session so
+// replica selection sees the node as loaded. The returned stop function
+// releases the sessions and cancels the flows.
+func (c *Cluster) StartDiskLoad(id DatanodeID, streams int, rate float64) (stop func()) {
+	d := c.datanodes[id]
+	stopped := false
+	var flows []*netsim.Flow
+	path := []topology.LinkID{c.topo.Node(topology.NodeID(id)).Disk}
+	const chunk = 64 * topology.MB
+	var launch func(slot int)
+	launch = func(slot int) {
+		if stopped || d.State == StateDown {
+			return
+		}
+		f := c.fabric.StartFlow(path, chunk, rate, func(*netsim.Flow) {
+			launch(slot)
+		})
+		if slot < len(flows) {
+			flows[slot] = f
+		} else {
+			flows = append(flows, f)
+		}
+	}
+	for i := 0; i < streams; i++ {
+		d.sessions++
+		launch(i)
+	}
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		for _, f := range flows {
+			c.fabric.Cancel(f)
+		}
+		for i := 0; i < streams; i++ {
+			c.release(d)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package hdfs
+
+import (
+	"sort"
+
+	"erms/internal/topology"
+)
+
+// Policy is the pluggable replica placement interface (HDFS lets
+// administrators "implement their own replica placement strategy").
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// ChooseTargets picks count datanodes to host new replicas of b,
+	// excluding nodes in exclude and nodes already holding the block.
+	// writer is the creating client's node (-1 when remote/unknown). It
+	// may return fewer than count when the cluster cannot satisfy the
+	// request.
+	ChooseTargets(c *Cluster, b *Block, count int, writer DatanodeID, exclude map[DatanodeID]bool) []DatanodeID
+	// ChooseExcess picks the replica of b to delete when shrinking.
+	ChooseExcess(c *Cluster, b *Block) (DatanodeID, bool)
+}
+
+// DefaultPolicy is HDFS's rack-aware strategy: first replica on the writer
+// (or a random active node), second on a node in a different rack, third on
+// a different node in the second's rack, and further replicas spread over
+// active nodes with the fewest blocks. Only Active nodes are eligible.
+type DefaultPolicy struct{}
+
+// NewDefaultPolicy returns the rack-aware default.
+func NewDefaultPolicy() *DefaultPolicy { return &DefaultPolicy{} }
+
+// Name implements Policy.
+func (p *DefaultPolicy) Name() string { return "default-rack-aware" }
+
+// eligible lists nodes in the given states with room for the block, not
+// already replicas, not excluded — sorted by (blocks held, ID) so choice is
+// deterministic and load-spreading.
+func eligible(c *Cluster, b *Block, exclude map[DatanodeID]bool, states ...NodeState) []DatanodeID {
+	okState := map[NodeState]bool{}
+	for _, s := range states {
+		okState[s] = true
+	}
+	holder := map[DatanodeID]bool{}
+	for _, r := range c.replicas[b.ID] {
+		holder[r] = true
+	}
+	var out []DatanodeID
+	for _, d := range c.datanodes {
+		if !okState[d.State] || holder[d.ID] || exclude[d.ID] {
+			continue
+		}
+		if d.UncommittedFree() < b.Size {
+			continue
+		}
+		out = append(out, d.ID)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := c.datanodes[out[i]], c.datanodes[out[j]]
+		if di.PlacementLoad() != dj.PlacementLoad() {
+			return di.PlacementLoad() < dj.PlacementLoad()
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// ChooseTargets implements Policy.
+func (p *DefaultPolicy) ChooseTargets(c *Cluster, b *Block, count int, writer DatanodeID, exclude map[DatanodeID]bool) []DatanodeID {
+	var chosen []DatanodeID
+	taken := map[DatanodeID]bool{}
+	for k := range exclude {
+		taken[k] = true
+	}
+	add := func(id DatanodeID) {
+		chosen = append(chosen, id)
+		taken[id] = true
+	}
+	existing := c.replicas[b.ID]
+	pick := func(pred func(DatanodeID) bool) (DatanodeID, bool) {
+		for _, id := range eligible(c, b, taken, StateActive) {
+			if pred == nil || pred(id) {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+
+	// Rack of the "first" replica for rack-awareness decisions.
+	firstRack := -1
+	rackOf := func(id DatanodeID) int { return c.topo.Rack(topology.NodeID(id)) }
+	if len(existing) > 0 {
+		firstRack = rackOf(existing[0])
+	}
+
+	for len(chosen) < count {
+		slot := len(existing) + len(chosen)
+		var id DatanodeID
+		var ok bool
+		switch slot {
+		case 0:
+			// Writer-local if possible.
+			if writer >= 0 && int(writer) < len(c.datanodes) {
+				d := c.datanodes[writer]
+				if d.State == StateActive && !taken[writer] && d.Free() >= b.Size && !d.HasBlock(b.ID) {
+					id, ok = writer, true
+				}
+			}
+			if !ok {
+				id, ok = pick(nil)
+			}
+			if ok {
+				firstRack = rackOf(id)
+			}
+		case 1:
+			// Different rack from the first replica.
+			id, ok = pick(func(n DatanodeID) bool { return rackOf(n) != firstRack })
+			if !ok {
+				id, ok = pick(nil)
+			}
+		case 2:
+			// Same rack as the second replica, different node.
+			secondRack := -1
+			if len(existing) > 1 {
+				secondRack = rackOf(existing[1])
+			} else if len(chosen) > 0 {
+				secondRack = rackOf(chosen[len(chosen)-1])
+			}
+			id, ok = pick(func(n DatanodeID) bool { return rackOf(n) == secondRack })
+			if !ok {
+				id, ok = pick(nil)
+			}
+		default:
+			id, ok = pick(nil)
+		}
+		if !ok {
+			break
+		}
+		add(id)
+	}
+	return chosen
+}
+
+// ChooseExcess implements Policy: drop from the node holding the most
+// blocks (load shedding), deterministic tie-break by ID.
+func (p *DefaultPolicy) ChooseExcess(c *Cluster, b *Block) (DatanodeID, bool) {
+	reps := c.replicas[b.ID]
+	if len(reps) == 0 {
+		return 0, false
+	}
+	best := reps[0]
+	for _, r := range reps[1:] {
+		db, dr := c.datanodes[best], c.datanodes[r]
+		if dr.NumBlocks() > db.NumBlocks() ||
+			(dr.NumBlocks() == db.NumBlocks() && r > best) {
+			best = r
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,267 @@
+package hdfs
+
+import (
+	"fmt"
+	"time"
+
+	"erms/internal/auditlog"
+	"erms/internal/netsim"
+	"erms/internal/topology"
+)
+
+// ExternalClient denotes a reader outside the cluster (an application
+// server). External reads have no locality preference: the replica is
+// chosen purely by load, and the flow exits through the source's rack
+// uplink.
+const ExternalClient topology.NodeID = -1
+
+// Locality classifies where a block read was served from.
+type Locality int
+
+// Locality levels.
+const (
+	NodeLocal Locality = iota
+	RackLocal
+	Remote
+)
+
+func (l Locality) String() string {
+	switch l {
+	case NodeLocal:
+		return "node-local"
+	case RackLocal:
+		return "rack-local"
+	}
+	return "remote"
+}
+
+// ReadResult summarizes a completed file read.
+type ReadResult struct {
+	Path      string
+	Client    topology.NodeID
+	Bytes     float64
+	Start     time.Duration
+	End       time.Duration
+	Err       error
+	NodeLocal int // block reads served node-locally
+	RackLocal int
+	Remote    int
+}
+
+// Duration returns the wall (virtual) time the read took.
+func (r *ReadResult) Duration() time.Duration { return r.End - r.Start }
+
+// ThroughputMBps returns achieved read throughput in MB/s.
+func (r *ReadResult) ThroughputMBps() float64 {
+	d := r.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return r.Bytes / topology.MB / d
+}
+
+// ReadFile streams the whole file to the client node, reading blocks
+// sequentially as HDFS clients do: for each block the namenode's replica
+// list is consulted, the closest available replica is chosen (node-local,
+// then rack-local, then least-loaded remote), the datanode admits the
+// session (queuing when at its session limit), and the transfer runs on
+// the fabric. done receives the result when the last block lands (or on
+// unrecoverable failure). An audit open record is emitted at the start.
+func (c *Cluster) ReadFile(client topology.NodeID, path string, done func(*ReadResult)) {
+	c.ReadFileAt(client, path, 0, done)
+}
+
+// ReadFileAt is ReadFile starting from block index `start` and wrapping
+// around (all blocks are still read exactly once). Concurrent benchmark
+// readers use distinct starting offsets so they do not march through the
+// file in lockstep — mirroring steady-state production readers that are
+// naturally desynchronized.
+func (c *Cluster) ReadFileAt(client topology.NodeID, path string, start int, done func(*ReadResult)) {
+	f := c.files[path]
+	res := &ReadResult{Path: path, Client: client, Start: c.engine.Now()}
+	if f == nil {
+		c.audit.Append(auditlog.Record{
+			Time: c.engine.Now(), Allowed: false, UGI: "hadoop",
+			IP: c.clientIP(client), Cmd: auditlog.CmdOpen, Src: path,
+		})
+		res.Err = fmt.Errorf("hdfs: no such file %q", path)
+		res.End = c.engine.Now()
+		if done != nil {
+			done(res)
+		}
+		return
+	}
+	c.audit.Append(auditlog.Record{
+		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		IP: c.clientIP(client), Cmd: auditlog.CmdOpen, Src: path,
+	})
+	c.metrics.ReadsStarted++
+	c.activeReads++
+	blocks := f.Blocks
+	if start > 0 && len(blocks) > 0 {
+		start = start % len(blocks)
+		rotated := make([]BlockID, 0, len(blocks))
+		rotated = append(rotated, blocks[start:]...)
+		rotated = append(rotated, blocks[:start]...)
+		blocks = rotated
+	}
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(blocks) {
+			res.End = c.engine.Now()
+			c.activeReads--
+			c.metrics.ReadsCompleted++
+			c.metrics.BytesRead += res.Bytes
+			if done != nil {
+				done(res)
+			}
+			return
+		}
+		c.readBlock(client, blocks[i], 0, func(bytes float64, loc Locality, err error) {
+			if err != nil {
+				res.Err = err
+				res.End = c.engine.Now()
+				c.activeReads--
+				c.metrics.ReadsFailed++
+				if done != nil {
+					done(res)
+				}
+				return
+			}
+			res.Bytes += bytes
+			switch loc {
+			case NodeLocal:
+				res.NodeLocal++
+			case RackLocal:
+				res.RackLocal++
+			default:
+				res.Remote++
+			}
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// ReadBlock reads a single block to the client node (used by MapReduce map
+// tasks, which read exactly one block).
+func (c *Cluster) ReadBlock(client topology.NodeID, id BlockID, done func(bytes float64, loc Locality, err error)) {
+	c.readBlock(client, id, 0, done)
+}
+
+// Transfer streams raw bytes from src to dst over the fabric — shuffle
+// traffic, log shipping, anything that moves data between cluster nodes
+// without touching the block map. A same-node transfer costs one disk
+// pass. done may be nil.
+func (c *Cluster) Transfer(src, dst topology.NodeID, bytes float64, done func()) {
+	if bytes <= 0 {
+		if done != nil {
+			c.engine.Schedule(0, func() { done() })
+		}
+		return
+	}
+	c.fabric.StartFlow(c.topo.ReadPath(src, dst), bytes, 0, func(*netsim.Flow) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+const maxReadRetries = 3
+
+// selectReplica picks the serving datanode for a block read: node-local
+// first, then rack-local, then remote; within a tier the node with the
+// fewest active sessions (then total queue, then smallest ID) wins. Only
+// Active nodes serve.
+func (c *Cluster) selectReplica(client topology.NodeID, id BlockID, exclude map[DatanodeID]bool) (DatanodeID, Locality, bool) {
+	var best DatanodeID = -1
+	bestTier := 99
+	bestLoad := 0
+	for _, r := range c.replicas[id] {
+		d := c.datanodes[r]
+		if !d.State.serves() || exclude[r] {
+			continue
+		}
+		tier := 2
+		if client >= 0 {
+			if topology.NodeID(r) == client {
+				tier = 0
+			} else if c.topo.SameRack(topology.NodeID(r), client) {
+				tier = 1
+			}
+		}
+		load := d.sessions + len(d.waiting)
+		if best < 0 || tier < bestTier || (tier == bestTier && load < bestLoad) ||
+			(tier == bestTier && load == bestLoad && r < best) {
+			best, bestTier, bestLoad = r, tier, load
+		}
+	}
+	if best < 0 {
+		return 0, Remote, false
+	}
+	loc := Remote
+	switch bestTier {
+	case 0:
+		loc = NodeLocal
+	case 1:
+		loc = RackLocal
+	}
+	return best, loc, true
+}
+
+func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, done func(float64, Locality, error)) {
+	b := c.blocks[id]
+	if b == nil {
+		done(0, Remote, fmt.Errorf("hdfs: no such block %d", id))
+		return
+	}
+	src, loc, ok := c.selectReplica(client, id, nil)
+	if !ok {
+		done(0, Remote, fmt.Errorf("hdfs: block %d of %q has no live replica", id, b.File))
+		return
+	}
+	d := c.datanodes[src]
+	retry := func() {
+		if attempt+1 >= maxReadRetries {
+			done(0, loc, fmt.Errorf("hdfs: read of block %d failed after %d attempts", id, attempt+1))
+			return
+		}
+		c.readBlock(client, id, attempt+1, done)
+	}
+	c.admit(d, func() {
+		// Session granted; stream the block.
+		c.metrics.BlockReads++
+		switch loc {
+		case NodeLocal:
+			c.metrics.NodeLocalReads++
+		case RackLocal:
+			c.metrics.RackLocalReads++
+		default:
+			c.metrics.RemoteReads++
+		}
+		ev := BlockReadEvent{
+			Time: c.engine.Now(), Path: b.File, Block: id, Datanode: src, Client: client,
+		}
+		for _, fn := range c.onBlockRead {
+			fn(ev)
+		}
+		var path []topology.LinkID
+		if client < 0 {
+			path = c.topo.ExternalPath(topology.NodeID(src))
+		} else {
+			path = c.topo.ReadPath(topology.NodeID(src), client)
+		}
+		flow := c.fabric.StartFlow(path, b.Size, 0, func(f *netsim.Flow) {
+			delete(d.activeFlows, f)
+			c.release(d)
+			done(b.Size, loc, nil)
+		})
+		// Register an abort handler so that if the serving node dies the
+		// read retries on another replica (the killer cancels the flow and
+		// invokes this).
+		d.activeFlows[flow] = func() {
+			c.release(d)
+			retry()
+		}
+	}, retry)
+}

@@ -1,0 +1,333 @@
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"erms/internal/auditlog"
+	"erms/internal/netsim"
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+// chooseSource picks the replica to copy from: least busy first (serving
+// sessions plus outbound transfers), then a node in the target's rack
+// (cheaper transfer), then smallest ID. Load comes first so a burst of
+// copies fans out across source disks instead of hammering one replica.
+// Standby holders can serve replication even though they do not serve
+// client reads (the node is powered for the transfer).
+func (c *Cluster) chooseSource(id BlockID, target DatanodeID) (DatanodeID, bool) {
+	var best DatanodeID = -1
+	bestKey := [3]int{1 << 30, 99, 1 << 30}
+	for _, r := range c.replicas[id] {
+		d := c.datanodes[r]
+		if d.State == StateDown || r == target {
+			continue
+		}
+		rackTier := 1
+		if c.topo.SameRack(topology.NodeID(r), topology.NodeID(target)) {
+			rackTier = 0
+		}
+		key := [3]int{d.sessions + d.xferOut, rackTier, int(r)}
+		if best < 0 || less3(key, bestKey) {
+			best, bestKey = r, key
+		}
+	}
+	return best, best >= 0
+}
+
+func less3(a, b [3]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// AddReplica copies block id onto target, calling done(err) when the
+// transfer lands. The copy streams disk-to-disk over the fabric.
+func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
+	b := c.blocks[id]
+	if b == nil {
+		c.finish(done, fmt.Errorf("hdfs: no such block %d", id))
+		return
+	}
+	td := c.datanodes[target]
+	if td.State == StateDown {
+		c.finish(done, fmt.Errorf("hdfs: target %s is down", td.Name))
+		return
+	}
+	if td.HasBlock(id) {
+		c.finish(done, fmt.Errorf("hdfs: %s already holds block %d", td.Name, id))
+		return
+	}
+	if td.UncommittedFree() < b.Size {
+		c.finish(done, fmt.Errorf("hdfs: %s is out of space", td.Name))
+		return
+	}
+	// The transfer starts after the command reaches the datanode on its
+	// next heartbeat; the source is chosen then, so freshly landed
+	// replicas can serve later transfers.
+	td.pendingAdds++
+	td.pendingBytes += b.Size
+	settled := false
+	settle := func() {
+		if !settled {
+			settled = true
+			td.pendingAdds--
+			td.pendingBytes -= b.Size
+		}
+	}
+	c.engine.Schedule(c.cfg.ReplCommandLatency, func() {
+		if td.State == StateDown {
+			settle()
+			c.finish(done, fmt.Errorf("hdfs: target %s died before copy", td.Name))
+			return
+		}
+		if td.HasBlock(id) {
+			settle()
+			c.finish(done, nil)
+			return
+		}
+		src, ok := c.chooseSource(id, target)
+		if !ok {
+			settle()
+			c.finish(done, fmt.Errorf("hdfs: no live source for block %d", id))
+			return
+		}
+		sd := c.datanodes[src]
+		sd.xferOut++
+		path := c.topo.TransferPath(topology.NodeID(src), topology.NodeID(target))
+		flow := c.fabric.StartFlow(path, b.Size, 0, func(f *netsim.Flow) {
+			delete(sd.activeFlows, f)
+			sd.xferOut--
+			settle()
+			if td.State == StateDown {
+				c.finish(done, fmt.Errorf("hdfs: target %s died during copy", td.Name))
+				return
+			}
+			c.attachReplica(b, target)
+			c.metrics.ReplicasAdded++
+			c.metrics.ReplicationMB += b.Size / topology.MB
+			c.finish(done, nil)
+		})
+		// Source death mid-copy retries from another source.
+		sd.activeFlows[flow] = func() {
+			sd.xferOut--
+			settle()
+			c.AddReplica(id, target, done)
+		}
+	})
+}
+
+// finish defers a completion callback to a fresh event so callers never
+// re-enter cluster state mid-operation.
+func (c *Cluster) finish(done func(error), err error) {
+	if done == nil {
+		return
+	}
+	c.engine.Schedule(0, func() { done(err) })
+}
+
+// RemoveReplica drops the replica of id on target (metadata-only; freeing
+// space is instantaneous).
+func (c *Cluster) RemoveReplica(id BlockID, target DatanodeID) error {
+	b := c.blocks[id]
+	if b == nil {
+		return fmt.Errorf("hdfs: no such block %d", id)
+	}
+	if !c.datanodes[target].HasBlock(id) {
+		return fmt.Errorf("hdfs: %s holds no replica of block %d", c.datanodes[target].Name, id)
+	}
+	if len(c.replicas[id]) == 1 {
+		return fmt.Errorf("hdfs: refusing to remove the last replica of block %d", id)
+	}
+	c.detachReplica(b, target)
+	c.metrics.ReplicasRemoved++
+	return nil
+}
+
+// ReplicationMode selects how SetReplication grows a file's replica count
+// (the paper's Figure 7 compares the two).
+type ReplicationMode int
+
+const (
+	// WholeAtOnce launches all needed copies of each block concurrently,
+	// straight to the final factor ("increasing the replica directly to the
+	// optimal one").
+	WholeAtOnce ReplicationMode = iota
+	// OneByOne raises the factor a step at a time, waiting for each full
+	// round before starting the next.
+	OneByOne
+)
+
+func (m ReplicationMode) String() string {
+	if m == WholeAtOnce {
+		return "whole"
+	}
+	return "one-by-one"
+}
+
+// SetReplication changes a file's replica count to n, adding (in the given
+// mode) or removing replicas. done(err) fires when the file reaches the
+// target. Placement uses the installed policy; removals consult
+// ChooseExcess.
+func (c *Cluster) SetReplication(path string, n int, mode ReplicationMode, done func(error)) {
+	f := c.files[path]
+	if f == nil {
+		c.finish(done, fmt.Errorf("hdfs: no such file %q", path))
+		return
+	}
+	if n <= 0 {
+		c.finish(done, fmt.Errorf("hdfs: replication must be positive"))
+		return
+	}
+	c.audit.Append(auditlog.Record{
+		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		IP: "10.0.0.1", Cmd: auditlog.CmdSetRepl, Src: path,
+	})
+	f.TargetRepl = n
+	cur := c.ReplicationOf(path)
+	switch {
+	case n == cur:
+		c.finish(done, nil)
+	case n < cur:
+		// Shrink: metadata-only, immediate.
+		var firstErr error
+		for _, bid := range f.Blocks {
+			for len(c.replicas[bid]) > n {
+				victim, ok := c.placement.ChooseExcess(c, c.blocks[bid])
+				if !ok {
+					break
+				}
+				if err := c.RemoveReplica(bid, victim); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					break
+				}
+			}
+		}
+		c.finish(done, firstErr)
+	default:
+		c.grow(f, n, mode, done)
+	}
+}
+
+// grow raises every block of f to n replicas.
+func (c *Cluster) grow(f *INode, n int, mode ReplicationMode, done func(error)) {
+	var step func(round int)
+	copyRound := func(target int, next func(error)) {
+		// One round: bring every block up to `target` replicas, all copies
+		// in flight concurrently.
+		outstanding := 0
+		var firstErr error
+		finished := false
+		complete := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			outstanding--
+			if outstanding == 0 && finished {
+				next(firstErr)
+			}
+		}
+		for _, bid := range f.Blocks {
+			need := target - len(c.replicas[bid])
+			if need <= 0 {
+				continue
+			}
+			b := c.blocks[bid]
+			targets := c.placement.ChooseTargets(c, b, need, -1, nil)
+			if len(targets) < need && firstErr == nil {
+				firstErr = fmt.Errorf("hdfs: only %d of %d targets for block %d", len(targets), need, bid)
+			}
+			for _, t := range targets {
+				outstanding++
+				c.AddReplica(bid, t, complete)
+			}
+		}
+		finished = true
+		if outstanding == 0 {
+			c.finish(next, firstErr)
+		}
+	}
+	switch mode {
+	case WholeAtOnce:
+		copyRound(n, func(err error) {
+			if done != nil {
+				done(err)
+			}
+		})
+	case OneByOne:
+		step = func(target int) {
+			if target > n {
+				if done != nil {
+					done(nil)
+				}
+				return
+			}
+			copyRound(target, func(err error) {
+				if err != nil {
+					if done != nil {
+						done(err)
+					}
+					return
+				}
+				step(target + 1)
+			})
+		}
+		step(c.ReplicationOf(f.Path) + 1)
+	}
+}
+
+// UnderReplicated lists blocks whose live replica count is below their
+// file's target (parity blocks target 1 replica).
+func (c *Cluster) UnderReplicated() []BlockID {
+	var out []BlockID
+	for bid, b := range c.blocks {
+		target := 1
+		if !b.Parity {
+			if f := c.files[b.File]; f != nil {
+				target = f.TargetRepl
+				if f.Encoded {
+					target = 1
+				}
+			}
+		}
+		if len(c.replicas[bid]) < target {
+			out = append(out, bid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StartReplicationMonitor runs a namenode re-replication scan every period:
+// under-replicated blocks get one new replica per scan (vanilla HDFS
+// behaviour; ERMS routes the same work through Condor jobs instead).
+// Returns a stop function.
+func (c *Cluster) StartReplicationMonitor(period time.Duration) func() {
+	inFlight := map[BlockID]bool{}
+	t := sim.NewTicker(c.engine, period, func(time.Duration) {
+		for _, bid := range c.UnderReplicated() {
+			if inFlight[bid] {
+				continue
+			}
+			b := c.blocks[bid]
+			if len(c.replicas[bid]) == 0 {
+				continue // lost block; erasure recovery may still help
+			}
+			targets := c.placement.ChooseTargets(c, b, 1, -1, nil)
+			if len(targets) == 0 {
+				continue
+			}
+			inFlight[bid] = true
+			bid := bid
+			c.AddReplica(bid, targets[0], func(error) { delete(inFlight, bid) })
+		}
+	})
+	return t.Stop
+}

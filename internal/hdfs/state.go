@@ -1,0 +1,208 @@
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+
+	"erms/internal/netsim"
+)
+
+// admit grants a serving session on d, queuing when the node is at its
+// session limit ("when the number of sessions has reached its upper bound,
+// the connection requests ... will be blocked"). abort fires instead of
+// start if the node leaves service while the request is still queued.
+func (c *Cluster) admit(d *Datanode, start, abort func()) *pendingSession {
+	p := &pendingSession{start: start, abort: abort}
+	if d.sessions < d.MaxSessions && d.State.serves() {
+		d.sessions++
+		start()
+		return p
+	}
+	d.waiting = append(d.waiting, p)
+	return p
+}
+
+// release frees a session and admits the next waiter.
+func (c *Cluster) release(d *Datanode) {
+	d.sessions--
+	for len(d.waiting) > 0 && d.sessions < d.MaxSessions && d.State.serves() {
+		p := d.waiting[0]
+		d.waiting = d.waiting[1:]
+		if p.canceled {
+			continue
+		}
+		d.sessions++
+		p.start()
+	}
+}
+
+// Commission switches a standby datanode to active (ERMS "could start
+// standby nodes"). Queued admissions drain immediately.
+func (c *Cluster) Commission(id DatanodeID) {
+	d := c.datanodes[id]
+	if d.State != StateStandby {
+		return
+	}
+	d.State = StateActive
+	d.activeSince = c.engine.Now()
+	for len(d.waiting) > 0 && d.sessions < d.MaxSessions {
+		p := d.waiting[0]
+		d.waiting = d.waiting[1:]
+		if p.canceled {
+			continue
+		}
+		d.sessions++
+		p.start()
+	}
+}
+
+// ToStandby powers a node down to standby for energy saving ("after all
+// data in a standby node are removed, ERMS could shut down that node").
+// The caller is responsible for draining replicas first; replicas still on
+// the node simply become unavailable until it is commissioned again.
+func (c *Cluster) ToStandby(id DatanodeID) {
+	d := c.datanodes[id]
+	if d.State != StateActive {
+		return
+	}
+	d.ActiveTime += c.engine.Now() - d.activeSince
+	d.State = StateStandby
+	c.abortServing(d)
+	c.abortWaiting(d)
+}
+
+// Kill marks a datanode dead: in-flight reads served from it abort and
+// retry elsewhere, and its replicas are lost (re-replication is the
+// monitor's job).
+func (c *Cluster) Kill(id DatanodeID) {
+	d := c.datanodes[id]
+	if d.State == StateDown {
+		return
+	}
+	if d.State == StateActive {
+		d.ActiveTime += c.engine.Now() - d.activeSince
+	}
+	d.State = StateDown
+	c.abortServing(d)
+	c.abortWaiting(d)
+	// Drop its replicas from the block map (space bookkeeping stays — the
+	// disk is gone with the node, but Used on a dead node is irrelevant).
+	for bid := range d.blocks {
+		b := c.blocks[bid]
+		c.detachReplica(b, id)
+	}
+	for _, fn := range c.onDeadNode {
+		fn(id)
+	}
+}
+
+// Decommission gracefully drains a datanode: it keeps serving reads while
+// every replica it holds is copied to other nodes, then leaves service as
+// StateDecommissioned. done(err) fires when the drain completes; err
+// reports blocks that could not be re-homed (they stay on the node and the
+// node stays decommissioning). This is the admin workflow whose
+// commission/decommission events the paper detects through Condor
+// ClassAds.
+func (c *Cluster) Decommission(id DatanodeID, done func(error)) {
+	d := c.datanodes[id]
+	if d.State != StateActive {
+		c.finish(done, fmt.Errorf("hdfs: %s is %s, not active", d.Name, d.State))
+		return
+	}
+	d.ActiveTime += c.engine.Now() - d.activeSince
+	d.State = StateDecommissioning
+	blocks := make([]BlockID, 0, len(d.blocks))
+	for bid := range d.blocks {
+		blocks = append(blocks, bid)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	outstanding := 0
+	var firstErr error
+	finishDrain := func() {
+		if firstErr != nil {
+			c.finish(done, firstErr)
+			return
+		}
+		// Copies landed everywhere: drop this node's replicas and retire it.
+		for _, bid := range blocks {
+			if d.HasBlock(bid) {
+				c.detachReplica(c.blocks[bid], id)
+			}
+		}
+		d.State = StateDecommissioned
+		c.abortServing(d)
+		c.abortWaiting(d)
+		c.finish(done, nil)
+	}
+	complete := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		outstanding--
+		if outstanding == 0 {
+			finishDrain()
+		}
+	}
+	for _, bid := range blocks {
+		b := c.blocks[bid]
+		targets := c.placement.ChooseTargets(c, b, 1, -1, map[DatanodeID]bool{id: true})
+		if len(targets) == 0 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hdfs: no target to drain block %d off %s", bid, d.Name)
+			}
+			continue
+		}
+		outstanding++
+		c.AddReplica(bid, targets[0], complete)
+	}
+	if outstanding == 0 {
+		finishDrain()
+	}
+}
+
+// Restart brings a dead node back empty (fresh disk), active.
+func (c *Cluster) Restart(id DatanodeID) {
+	d := c.datanodes[id]
+	if d.State != StateDown {
+		return
+	}
+	d.blocks = make(map[BlockID]bool)
+	d.Used = 0
+	d.sessions = 0
+	d.waiting = nil
+	d.State = StateActive
+	d.activeSince = c.engine.Now()
+}
+
+// abortServing cancels every flow served from d and fires the registered
+// abort handlers (which retry reads on other replicas). Handlers fire in
+// deterministic flow-ID order.
+func (c *Cluster) abortServing(d *Datanode) {
+	if len(d.activeFlows) == 0 {
+		return
+	}
+	flows := d.activeFlows
+	d.activeFlows = make(map[*netsim.Flow]func())
+	ordered := make([]*netsim.Flow, 0, len(flows))
+	for f := range flows {
+		ordered = append(ordered, f)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID() < ordered[j].ID() })
+	for _, f := range ordered {
+		c.fabric.Cancel(f)
+	}
+	for _, f := range ordered {
+		flows[f]()
+	}
+}
+
+// abortWaiting fails every queued admission on d (the node left service).
+func (c *Cluster) abortWaiting(d *Datanode) {
+	waiting := d.waiting
+	d.waiting = nil
+	for _, p := range waiting {
+		if !p.canceled && p.abort != nil {
+			p.abort()
+		}
+	}
+}

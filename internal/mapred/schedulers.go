@@ -1,0 +1,91 @@
+package mapred
+
+import (
+	"erms/internal/hdfs"
+	"erms/internal/topology"
+)
+
+// FIFO is Hadoop's default scheduler: jobs run in submission order; within
+// the head job, the most local pending task is chosen for each slot. Only
+// when the head job has no pending tasks does the next job get slots.
+type FIFO struct{}
+
+// NewFIFO returns the FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// Pick implements Scheduler.
+func (f *FIFO) Pick(c *Cluster, node topology.NodeID, jobs []*Job) (*Job, hdfs.BlockID, bool) {
+	for _, j := range jobs {
+		if len(j.pending) == 0 {
+			continue
+		}
+		bid, _ := c.bestBlockFor(j, node)
+		return j, bid, true
+	}
+	return nil, 0, false
+}
+
+// Fair is the Hadoop Fair Scheduler with delay scheduling: slots go to the
+// job with the smallest running/weight ratio, but a job whose turn arrives
+// on a node holding none of its data may be skipped up to MaxSkips times in
+// favor of a job with node-local work, trading "a small delay for tasks"
+// for locality — exactly the behaviour Figure 3 observes.
+type Fair struct {
+	// MaxSkips bounds how many scheduling opportunities a job may decline
+	// while waiting for a node-local slot. Default 4.
+	MaxSkips int
+	skips    map[int]int // job ID -> consecutive skips
+}
+
+// NewFair returns a Fair scheduler with the default skip bound.
+func NewFair() *Fair { return &Fair{MaxSkips: 4, skips: make(map[int]int)} }
+
+// Name implements Scheduler.
+func (f *Fair) Name() string { return "Fair" }
+
+// Pick implements Scheduler.
+func (f *Fair) Pick(c *Cluster, node topology.NodeID, jobs []*Job) (*Job, hdfs.BlockID, bool) {
+	if f.skips == nil {
+		f.skips = make(map[int]int)
+	}
+	// Deficit order: fewest running tasks per weight first; FIFO tie-break.
+	var order []*Job
+	for _, j := range jobs {
+		if len(j.pending) > 0 {
+			order = append(order, j)
+		}
+	}
+	if len(order) == 0 {
+		return nil, 0, false
+	}
+	for i := 0; i < len(order); i++ {
+		for k := i + 1; k < len(order); k++ {
+			if deficit(order[k]) < deficit(order[i]) {
+				order[i], order[k] = order[k], order[i]
+			}
+		}
+	}
+	// Delay scheduling: give the slot to the first job in deficit order
+	// that has a node-local task; jobs passed over accumulate skips. A job
+	// that has exhausted its skips takes the slot regardless of locality.
+	for _, j := range order {
+		bid, tier := c.bestBlockFor(j, node)
+		if tier == 0 {
+			f.skips[j.ID] = 0
+			return j, bid, true
+		}
+		if f.skips[j.ID] >= f.MaxSkips {
+			f.skips[j.ID] = 0
+			return j, bid, true
+		}
+		f.skips[j.ID]++
+	}
+	// Every job is still within its delay budget: leave the slot idle this
+	// round; a future completion or new job will re-dispatch.
+	return nil, 0, false
+}
+
+func deficit(j *Job) float64 { return float64(j.running) / j.Weight }

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of an ASCII chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+	Mark byte // the glyph drawn for this series ('*', '+', 'o', …)
+}
+
+// Chart renders series as a plain-text scatter/line chart — enough to see
+// a figure's shape in a terminal without leaving the repository.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns; default 60
+	Height int // plot area rows; default 16
+	Series []Series
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		for i := range s.Xs {
+			points++
+			minX, maxX = math.Min(minX, s.Xs[i]), math.Max(maxX, s.Xs[i])
+			minY, maxY = math.Min(minY, s.Ys[i]), math.Max(maxY, s.Ys[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range c.Series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		for i := range s.Xs {
+			col := int((s.Xs[i] - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((s.Ys[i]-minY)/(maxY-minY)*float64(h-1))
+			if row >= 0 && row < h && col >= 0 && col < w {
+				grid[row][col] = mark
+			}
+		}
+	}
+	yHi := FormatFloat(maxY)
+	yLo := FormatFloat(minY)
+	labelW := len(yHi)
+	if len(yLo) > labelW {
+		labelW = len(yLo)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yHi, labelW)
+		case h - 1:
+			label = pad(yLo, labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW),
+		FormatFloat(minX),
+		strings.Repeat(" ", maxInt(1, w-len(FormatFloat(minX))-len(FormatFloat(maxX)))),
+		FormatFloat(maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s  y: %s\n", c.XLabel, c.YLabel)
+	}
+	if len(c.Series) > 1 {
+		var legend []string
+		for _, s := range c.Series {
+			mark := s.Mark
+			if mark == 0 {
+				mark = '*'
+			}
+			legend = append(legend, fmt.Sprintf("%c %s", mark, s.Name))
+		}
+		fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

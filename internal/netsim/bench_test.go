@@ -1,0 +1,44 @@
+package netsim
+
+import (
+	"testing"
+
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+// BenchmarkFlowChurn measures the cost of the max-min reallocation under a
+// steady add/complete churn of flows — the simulator's hottest loop.
+func BenchmarkFlowChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		topo := topology.New(topology.Config{})
+		fb := New(e, topo)
+		n := topo.NumNodes()
+		for k := 0; k < 200; k++ {
+			src := topology.NodeID(k % n)
+			dst := topology.NodeID((k + 7) % n)
+			fb.StartFlow(topo.ReadPath(src, dst), 16*float64(topology.MB), 0, nil)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkManyConcurrentFlows stresses a single admission burst.
+func BenchmarkManyConcurrentFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		topo := topology.New(topology.Config{})
+		fb := New(e, topo)
+		n := topo.NumNodes()
+		for k := 0; k < 500; k++ {
+			src := topology.NodeID(k % n)
+			dst := topology.NodeID((k*5 + 1) % n)
+			if src == dst {
+				dst = topology.NodeID((int(dst) + 1) % n)
+			}
+			fb.StartFlow(topo.ReadPath(src, dst), float64(topology.MB), 0, nil)
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,353 @@
+// Package netsim is a flow-level network/disk simulator.
+//
+// Transfers (block reads, replica copies, parity writes) are modeled as
+// fluid flows over a set of capacity-limited links. Whenever the flow set
+// changes, the fabric recomputes a max-min fair allocation (progressive
+// filling, honoring per-flow rate caps) and schedules the next flow
+// completion. This captures the contention effects the ERMS paper measures:
+// a datanode's disk and NIC saturate as concurrent readers pile onto a hot
+// replica, and rack uplinks throttle remote reads.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	id        int64
+	path      []topology.LinkID
+	remaining float64 // bytes left
+	rate      float64 // bytes/s under the current allocation
+	maxRate   float64 // per-flow cap; 0 means unlimited
+	start     time.Duration
+	onDone    func(f *Flow)
+	fabric    *Fabric
+	done      bool
+	canceled  bool
+}
+
+// ID returns the flow's unique identifier.
+func (f *Flow) ID() int64 { return f.id }
+
+// Rate returns the currently allocated rate in bytes/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left as of the last allocation instant; call
+// Fabric.Progress for an up-to-the-instant value.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Start returns the virtual time the flow was admitted.
+func (f *Flow) Start() time.Duration { return f.start }
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Canceled reports whether the flow was canceled before completion.
+func (f *Flow) Canceled() bool { return f.canceled }
+
+// Fabric owns the link table and the active flow set.
+type Fabric struct {
+	engine   *sim.Engine
+	links    []topology.Link
+	flows    map[int64]*Flow
+	nextID   int64
+	lastCalc time.Duration
+	nextDone *sim.Event
+
+	// BytesMoved accumulates total bytes delivered, for network-overhead
+	// accounting in experiments.
+	BytesMoved float64
+	// bytesPerLink accumulates delivered bytes per link.
+	bytesPerLink []float64
+}
+
+// New creates a fabric over the topology's link table.
+func New(engine *sim.Engine, topo *topology.Topology) *Fabric {
+	links := make([]topology.Link, len(topo.Links))
+	copy(links, topo.Links)
+	return &Fabric{
+		engine:       engine,
+		links:        links,
+		flows:        make(map[int64]*Flow),
+		bytesPerLink: make([]float64, len(links)),
+	}
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
+
+// LinkBytes returns the total bytes that have crossed link id.
+func (fb *Fabric) LinkBytes(id topology.LinkID) float64 { return fb.bytesPerLink[id] }
+
+// LinkUtilization returns the instantaneous utilization (allocated rate /
+// capacity) of link id.
+func (fb *Fabric) LinkUtilization(id topology.LinkID) float64 {
+	var used float64
+	for _, f := range fb.flows {
+		for _, l := range f.path {
+			if l == id {
+				used += f.rate
+				break
+			}
+		}
+	}
+	c := fb.links[id].Capacity
+	if c <= 0 {
+		return 0
+	}
+	return used / c
+}
+
+// StartFlow admits a transfer of bytes over path. maxRate of 0 means no
+// per-flow cap. onDone fires (in a fresh event) when the last byte lands;
+// it receives the completed flow. StartFlow panics on an empty path or
+// non-positive size, which indicate modeling bugs.
+func (fb *Fabric) StartFlow(path []topology.LinkID, bytes float64, maxRate float64, onDone func(f *Flow)) *Flow {
+	if len(path) == 0 {
+		panic("netsim: empty flow path")
+	}
+	if bytes <= 0 {
+		panic(fmt.Sprintf("netsim: flow size %v must be positive", bytes))
+	}
+	fb.settle()
+	f := &Flow{
+		id:        fb.nextID,
+		path:      append([]topology.LinkID(nil), path...),
+		remaining: bytes,
+		maxRate:   maxRate,
+		start:     fb.engine.Now(),
+		onDone:    onDone,
+		fabric:    fb,
+	}
+	fb.nextID++
+	fb.flows[f.id] = f
+	fb.reallocate()
+	return f
+}
+
+// Cancel aborts an in-flight flow; its completion callback never fires.
+// Canceling a finished or already-canceled flow is a no-op.
+func (fb *Fabric) Cancel(f *Flow) {
+	if f == nil || f.done || f.canceled {
+		return
+	}
+	fb.settle()
+	f.canceled = true
+	delete(fb.flows, f.id)
+	fb.reallocate()
+}
+
+// Progress returns the bytes remaining for f right now.
+func (fb *Fabric) Progress(f *Flow) float64 {
+	if f.done {
+		return 0
+	}
+	elapsed := (fb.engine.Now() - fb.lastCalc).Seconds()
+	rem := f.remaining - f.rate*elapsed
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// settle advances every active flow's remaining bytes to the current
+// instant, attributing the moved bytes to accounting.
+func (fb *Fabric) settle() {
+	now := fb.engine.Now()
+	elapsed := (now - fb.lastCalc).Seconds()
+	if elapsed > 0 {
+		for _, f := range fb.flows {
+			moved := f.rate * elapsed
+			if moved > f.remaining {
+				moved = f.remaining
+			}
+			f.remaining -= moved
+			fb.BytesMoved += moved
+			for _, l := range f.path {
+				fb.bytesPerLink[l] += moved
+			}
+		}
+	}
+	fb.lastCalc = now
+}
+
+// reallocate recomputes the max-min fair rates and schedules the next
+// completion event.
+func (fb *Fabric) reallocate() {
+	if fb.nextDone != nil {
+		fb.engine.Cancel(fb.nextDone)
+		fb.nextDone = nil
+	}
+	if len(fb.flows) == 0 {
+		return
+	}
+	fb.computeRates()
+
+	// Next completion: the flow with the smallest remaining/rate.
+	var soonest *Flow
+	var eta float64 = math.Inf(1)
+	for _, f := range fb.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < eta {
+			eta = t
+			soonest = f
+		}
+	}
+	if soonest == nil {
+		// All flows starved (zero-capacity links): leave them pending; a
+		// later topology change would need to call reallocate again. This
+		// should not happen with sane configs.
+		return
+	}
+	// Round the ETA *up* to the clock's nanosecond granularity. Rounding
+	// down would fire the completion event a hair early, find bytes still
+	// remaining, and reschedule at the same instant forever.
+	delay := time.Duration(math.Ceil(eta * 1e9))
+	if delay < 0 {
+		delay = 0
+	}
+	fb.nextDone = fb.engine.Schedule(delay, fb.completeDue)
+}
+
+// completeDue fires when the earliest flow(s) finish: it settles progress,
+// completes every flow that has (numerically) drained, and reallocates.
+func (fb *Fabric) completeDue() {
+	fb.nextDone = nil
+	fb.settle()
+	var finished []*Flow
+	for _, f := range fb.flows {
+		// A flow is done when what remains is less than it can move in one
+		// clock tick (1 ns) — the clock cannot resolve anything smaller —
+		// plus a fixed epsilon for float rounding.
+		epsilon := 1e-6 + f.rate*2e-9
+		if f.remaining <= epsilon {
+			finished = append(finished, f)
+		}
+	}
+	// Deterministic completion order by flow ID.
+	for i := 0; i < len(finished); i++ {
+		for j := i + 1; j < len(finished); j++ {
+			if finished[j].id < finished[i].id {
+				finished[i], finished[j] = finished[j], finished[i]
+			}
+		}
+	}
+	for _, f := range finished {
+		f.remaining = 0
+		f.done = true
+		delete(fb.flows, f.id)
+	}
+	fb.reallocate()
+	for _, f := range finished {
+		if cb := f.onDone; cb != nil {
+			f.onDone = nil
+			cb(f)
+		}
+	}
+}
+
+// computeRates runs progressive filling: repeatedly find the tightest
+// constraint (a link's equal share among its unfrozen flows, or a flow's own
+// cap), freeze the implicated flows at that rate, and continue until every
+// flow is frozen.
+func (fb *Fabric) computeRates() {
+	type linkState struct {
+		residual float64
+		nActive  int
+	}
+	states := make(map[topology.LinkID]*linkState)
+	frozen := make(map[int64]bool, len(fb.flows))
+	for _, f := range fb.flows {
+		f.rate = 0
+		for _, l := range f.path {
+			st := states[l]
+			if st == nil {
+				st = &linkState{residual: fb.links[l].Capacity}
+				states[l] = st
+			}
+			st.nActive++
+		}
+	}
+	remaining := len(fb.flows)
+	for remaining > 0 {
+		// Tightest link share among links with unfrozen flows.
+		share := math.Inf(1)
+		for _, st := range states {
+			if st.nActive > 0 {
+				s := st.residual / float64(st.nActive)
+				if s < share {
+					share = s
+				}
+			}
+		}
+		// A flow cap can bind before the link share does.
+		capBind := math.Inf(1)
+		for _, f := range fb.flows {
+			if frozen[f.id] || f.maxRate <= 0 {
+				continue
+			}
+			if f.maxRate < capBind {
+				capBind = f.maxRate
+			}
+		}
+		rate := share
+		capLimited := false
+		if capBind < share {
+			rate = capBind
+			capLimited = true
+		}
+		if math.IsInf(rate, 1) {
+			// No constraints at all (flows on infinite links with no caps):
+			// should not happen; freeze at a huge rate to guarantee progress.
+			rate = math.MaxFloat64 / 4
+		}
+		// Freeze the binding flows.
+		for _, f := range fb.flows {
+			if frozen[f.id] {
+				continue
+			}
+			bind := false
+			if capLimited {
+				bind = f.maxRate > 0 && f.maxRate <= rate
+			} else {
+				for _, l := range f.path {
+					st := states[l]
+					if st.residual/float64(st.nActive) <= rate+1e-12 {
+						bind = true
+						break
+					}
+				}
+				if !bind && f.maxRate > 0 && f.maxRate <= rate {
+					bind = true
+				}
+			}
+			if !bind {
+				continue
+			}
+			r := rate
+			if f.maxRate > 0 && f.maxRate < r {
+				r = f.maxRate
+			}
+			f.rate = r
+			frozen[f.id] = true
+			remaining--
+			for _, l := range f.path {
+				st := states[l]
+				st.residual -= r
+				if st.residual < 0 {
+					st.residual = 0
+				}
+				st.nActive--
+			}
+		}
+	}
+}

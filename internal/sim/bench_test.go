@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for k := 0; k < 1000; k++ {
+			e.Schedule(time.Duration(k)*time.Millisecond, func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkNestedEventChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		n := 0
+		var rec func()
+		rec = func() {
+			n++
+			if n < 10000 {
+				e.Schedule(time.Microsecond, rec)
+			}
+		}
+		e.Schedule(0, rec)
+		e.Run()
+	}
+}
+
+func BenchmarkCancelHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		evs := make([]*Event, 0, 1000)
+		for k := 0; k < 1000; k++ {
+			evs = append(evs, e.Schedule(time.Duration(k)*time.Millisecond, func() {}))
+		}
+		for _, ev := range evs[:900] {
+			e.Cancel(ev)
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	z := NewZipf(NewRand(1), 1.1, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Draw()
+	}
+}

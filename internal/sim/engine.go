@@ -1,0 +1,213 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All ERMS subsystems — the network fabric, HDFS, the Condor scheduler, the
+// CEP engine — run on a single Engine. Virtual time is a time.Duration
+// measured from the start of the simulation. Events scheduled for the same
+// instant fire in scheduling order (FIFO), which together with seeded random
+// sources makes every run byte-for-byte reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	index    int // heap index; -1 once removed
+	canceled bool
+	fn       func()
+}
+
+// Time returns the virtual time at which the event fires (or would have
+// fired, if canceled).
+func (e *Event) Time() time.Duration { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	running bool
+	fired   uint64
+}
+
+// NewEngine returns an Engine with the clock at zero and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events executed so far (useful in tests and
+// for progress reporting).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled (including
+// canceled events that have not been popped yet).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero: the event fires at the current time, after all events already
+// scheduled for that time.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past is an error
+// that indicates a broken model, so it panics.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. The event stays in the calendar and is
+// discarded when popped.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.canceled = true
+	ev.fn = nil
+}
+
+// Step executes the next event, advancing the clock to its timestamp. It
+// returns false if the calendar is empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the calendar is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then advances the clock
+// to exactly t. Events scheduled for later remain pending.
+func (e *Engine) RunUntil(t time.Duration) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
+	}
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	e.now = t
+}
+
+// RunFor runs the simulation for d of virtual time from the current instant.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now + d)
+}
+
+func (e *Engine) peek() *Event {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// NextEventTime returns the timestamp of the next pending event and true, or
+// zero and false if the calendar is empty.
+func (e *Engine) NextEventTime() (time.Duration, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// eventHeap orders events by (time, sequence) so same-time events fire in
+// the order they were scheduled.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Seconds converts a float64 number of seconds into a time.Duration,
+// saturating instead of overflowing for very large values.
+func Seconds(s float64) time.Duration {
+	if math.IsInf(s, 1) || s > math.MaxInt64/float64(time.Second) {
+		return math.MaxInt64
+	}
+	if s < 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// ToSeconds converts a duration to float64 seconds.
+func ToSeconds(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(time.Second, func() {
+		e.Schedule(-5*time.Second, func() { fired = true })
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock = %v, want 1s", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	victim := e.Schedule(2*time.Second, func() { fired = true })
+	e.Schedule(time.Second, func() { e.Cancel(victim) })
+	e.Run()
+	if fired {
+		t.Fatal("event fired despite cancellation by earlier event")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at []time.Duration
+	e.Schedule(1*time.Second, func() { at = append(at, e.Now()) })
+	e.Schedule(5*time.Second, func() { at = append(at, e.Now()) })
+	e.RunUntil(3 * time.Second)
+	if len(at) != 1 || at[0] != time.Second {
+		t.Fatalf("events before horizon = %v, want [1s]", at)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", e.Now())
+	}
+	e.Run()
+	if len(at) != 2 || at[1] != 5*time.Second {
+		t.Fatalf("events after = %v", at)
+	}
+}
+
+func TestRunUntilInclusive(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(3*time.Second, func() { fired = true })
+	e.RunUntil(3 * time.Second)
+	if !fired {
+		t.Fatal("event at horizon should fire")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Millisecond, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Fatalf("clock = %v, want 99ms", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(0, func() {})
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("empty calendar reported a next event")
+	}
+	ev := e.Schedule(4*time.Second, func() {})
+	e.Schedule(7*time.Second, func() {})
+	if at, ok := e.NextEventTime(); !ok || at != 4*time.Second {
+		t.Fatalf("next = %v,%v want 4s,true", at, ok)
+	}
+	e.Cancel(ev)
+	if at, ok := e.NextEventTime(); !ok || at != 7*time.Second {
+		t.Fatalf("next after cancel = %v,%v want 7s,true", at, ok)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []time.Duration
+	tk := NewTicker(e, time.Second, func(now time.Duration) {
+		ticks = append(ticks, now)
+		if len(ticks) == 3 {
+			// stop from inside the callback
+		}
+	})
+	e.Schedule(3500*time.Millisecond, func() { tk.Stop() })
+	e.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 firings", ticks)
+	}
+	for i, at := range ticks {
+		want := time.Duration(i+1) * time.Second
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	if !tk.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	tk.Stop() // idempotent
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(e, time.Second, func(time.Duration) {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 2 {
+		t.Fatalf("ticker fired %d times, want 2", n)
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	if Seconds(1.5) != 1500*time.Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if Seconds(-1) != 0 {
+		t.Fatalf("Seconds(-1) = %v, want 0", Seconds(-1))
+	}
+	if Seconds(1e300) <= 0 {
+		t.Fatal("huge Seconds should saturate positive")
+	}
+	if got := ToSeconds(2500 * time.Millisecond); got != 2.5 {
+		t.Fatalf("ToSeconds = %v", got)
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of the
+// order they were scheduled in.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil never executes events beyond the horizon.
+func TestQuickRunUntilHorizon(t *testing.T) {
+	f := func(delays []uint16, horizon uint16) bool {
+		e := NewEngine()
+		h := time.Duration(horizon) * time.Millisecond
+		ok := true
+		for _, d := range delays {
+			at := time.Duration(d) * time.Millisecond
+			e.Schedule(at, func() {
+				if e.Now() > h {
+					ok = false
+				}
+			})
+		}
+		e.RunUntil(h)
+		return ok && e.Now() == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 1.1, 100)
+	counts := make([]int, 100)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		r := z.Draw()
+		if r < 0 || r >= 100 {
+			t.Fatalf("rank %d out of bounds", r)
+		}
+		counts[r]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	top10 := 0
+	for i := 0; i < 10; i++ {
+		top10 += counts[i]
+	}
+	if float64(top10)/draws < 0.5 {
+		t.Fatalf("top-10 share %.2f, want heavy tail > 0.5", float64(top10)/draws)
+	}
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(NewRand(42), 0.9, 50)
+	b := NewZipf(NewRand(42), 0.9, 50)
+	for i := 0; i < 100; i++ {
+		if a.Draw() != b.Draw() {
+			t.Fatal("same-seed zipf streams diverged")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a seeded random source. Every stochastic component takes
+// one of these explicitly so experiments are reproducible and independent
+// components do not perturb each other's streams.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Zipf draws ranks in [0, n) with a Zipf(s) distribution, rank 0 being the
+// most popular. It is used for heavy-tailed file popularity: the paper's
+// motivation is that "data access patterns in HDFS clusters are heavy-tailed".
+type Zipf struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+// NewZipf builds a Zipf distribution over n items with exponent s > 0.
+// Small n keeps the precomputed CDF cheap; workloads use catalogs of a few
+// thousand files.
+func NewZipf(rng *rand.Rand, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("sim: zipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Draw returns a rank in [0, len(cdf)).
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }

@@ -1,0 +1,50 @@
+package sim
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// ERMS uses tickers for CEP window evaluation, Condor negotiation cycles,
+// and datanode heartbeats.
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	fn      func(now time.Duration)
+	next    *Event
+	stopped bool
+}
+
+// NewTicker schedules fn every period, with the first firing one period from
+// now. It panics if period is not positive.
+func NewTicker(e *Engine, period time.Duration, fn func(now time.Duration)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.next = t.engine.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. Safe to call multiple times and from within
+// the callback.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.engine.Cancel(t.next)
+}
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stopped }

@@ -1,0 +1,21 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSynthesize(b *testing.B) {
+	cfg := Config{Seed: 1, Duration: 6 * time.Hour, NumFiles: 60}
+	for i := 0; i < b.N; i++ {
+		Synthesize(cfg)
+	}
+}
+
+func BenchmarkAccessCounts(b *testing.B) {
+	tr := Synthesize(Config{Seed: 1, Duration: 6 * time.Hour, NumFiles: 60})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.AccessCounts()
+	}
+}

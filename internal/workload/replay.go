@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"time"
+
+	"erms/internal/hdfs"
+	"erms/internal/mapred"
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+// Preload creates the trace's files in the cluster at their creation times
+// (files with CreateAt == 0 exist before the replay starts). Files are
+// written by a deterministic writer derived from their index, spreading
+// first replicas over the cluster. Replication uses the cluster default.
+func Preload(engine *sim.Engine, h *hdfs.Cluster, t *Trace) {
+	for i, f := range t.Files {
+		f := f
+		writer := topology.NodeID(i % h.NumDatanodes())
+		create := func() {
+			// Ignore duplicate errors: a re-run over the same cluster keeps
+			// the original file.
+			_, _ = h.CreateFile(f.Path, f.Size, 0, writer)
+		}
+		if f.CreateAt <= 0 {
+			create()
+		} else {
+			engine.At(f.CreateAt, create)
+		}
+	}
+}
+
+// ReplayMapReduce submits the trace's jobs to the MapReduce runtime at
+// their trace times. onDone (optional) observes each finished job.
+func ReplayMapReduce(engine *sim.Engine, mr *mapred.Cluster, t *Trace, onDone func(*mapred.Job)) {
+	if onDone != nil {
+		mr.OnJobDone(onDone)
+	}
+	for _, js := range t.Jobs {
+		js := js
+		engine.At(js.Submit, func() {
+			j := &mapred.Job{
+				Name:         js.Name,
+				File:         js.File,
+				ComputePerMB: js.Compute,
+			}
+			// Missing input (file created later than this access due to a
+			// hand-edited trace) is skipped rather than fatal.
+			_ = mr.Submit(j)
+		})
+	}
+}
+
+// ReplayReads issues the trace's jobs as direct whole-file client reads
+// (no MapReduce layer), as the paper does for the system-metric
+// experiments ("we directly read data from HDFS instead of by Map/Reduce
+// framework"). onDone observes each completed read.
+func ReplayReads(engine *sim.Engine, h *hdfs.Cluster, t *Trace, onDone func(*hdfs.ReadResult)) {
+	n := h.NumDatanodes()
+	for _, js := range t.Jobs {
+		js := js
+		engine.At(js.Submit, func() {
+			client := topology.NodeID(js.Client % n)
+			h.ReadFile(client, js.File, onDone)
+		})
+	}
+}
+
+// Horizon returns a virtual-time horizon safely beyond the trace end, for
+// RunUntil calls (trace duration plus slack for stragglers).
+func (t *Trace) Horizon(slack time.Duration) time.Duration {
+	return t.Duration + slack
+}
