@@ -13,6 +13,10 @@ type Engine struct {
 	clock      func() time.Duration
 	statements map[string][]*Statement // by event type
 	inserted   uint64
+
+	scratch     *Event // reused dispatch copy, so Insert's argument never escapes
+	dispatching int
+	needCompact bool // a statement closed itself mid-dispatch
 }
 
 // New creates an engine. clock supplies the current (virtual) time.
@@ -33,6 +37,7 @@ func (e *Engine) Compile(epl string) (*Statement, error) {
 		return nil, err
 	}
 	s := &Statement{engine: e, query: q}
+	s.inc = planIncremental(s)
 	e.statements[q.From] = append(e.statements[q.From], s)
 	return s, nil
 }
@@ -49,36 +54,108 @@ func (e *Engine) MustCompile(epl string) *Statement {
 
 // Insert dispatches an event to every statement reading its type. Events
 // failing a statement's where clause are not retained by that statement.
+//
+// The event is copied into an engine-owned scratch slot before dispatch, so
+// the argument never escapes: inserting into incremental statements does not
+// allocate. Statements on the generic fallback retain events, so those get
+// one shared heap copy per dispatch, allocated lazily.
 func (e *Engine) Insert(ev Event) error {
 	e.inserted++
-	for _, s := range e.statements[ev.Type] {
-		if err := s.insert(&ev); err != nil {
-			return err
+	regs := e.statements[ev.Type]
+	if len(regs) == 0 {
+		return nil
+	}
+	p := e.scratch
+	if p == nil || e.dispatching > 0 {
+		// First use, or a reentrant Insert (e.g. from a clock callback):
+		// don't clobber the outer dispatch's event.
+		p = new(Event)
+		if e.dispatching == 0 {
+			e.scratch = p
 		}
 	}
-	return nil
+	*p = ev
+	e.dispatching++
+	var kept *Event
+	var firstErr error
+	for _, s := range regs {
+		if s.closed {
+			continue
+		}
+		var err error
+		if s.inc != nil {
+			err = s.inc.insert(p)
+		} else {
+			if kept == nil {
+				kept = new(Event)
+				*kept = *p
+			}
+			err = s.insert(kept)
+		}
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	e.dispatching--
+	if e.dispatching == 0 && e.needCompact {
+		e.needCompact = false
+		e.compact()
+	}
+	return firstErr
 }
 
-// Statement is a registered continuous query plus its retained window.
+// compact removes closed statements deferred by a mid-dispatch Close.
+func (e *Engine) compact() {
+	for typ, regs := range e.statements {
+		out := regs[:0]
+		for _, s := range regs {
+			if !s.closed {
+				out = append(out, s)
+			}
+		}
+		e.statements[typ] = out
+	}
+}
+
+// Statement is a registered continuous query plus its retained state:
+// either the incremental per-group aggregates (fast path, chosen at compile
+// time) or the generic evaluator's event window.
 type Statement struct {
 	engine *Engine
 	query  *Query
 	window []*Event
+	inc    *incState // nil: generic fallback
 	closed bool
 }
 
+// Incremental reports whether the statement evaluates on the incremental
+// fast path (exported for tests and benchmarks).
+func (s *Statement) Incremental() bool { return s.inc != nil }
+
 // Close deregisters the statement: it stops receiving events and releases
-// its retained window. Closing twice is a no-op.
+// its retained state. Closing twice is a no-op. Close is safe to call while
+// the engine is dispatching an event (e.g. from a clock callback): the
+// statement stops matching immediately and is unregistered once the
+// dispatch finishes.
 func (s *Statement) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
 	s.window = nil
-	regs := s.engine.statements[s.query.From]
+	if s.inc != nil {
+		s.inc.reset()
+	}
+	e := s.engine
+	if e.dispatching > 0 {
+		e.needCompact = true
+		return
+	}
+	regs := e.statements[s.query.From]
 	for i, st := range regs {
 		if st == s {
-			s.engine.statements[s.query.From] = append(regs[:i], regs[i+1:]...)
+			e.statements[s.query.From] = append(regs[:i], regs[i+1:]...)
 			break
 		}
 	}
@@ -93,6 +170,9 @@ func (s *Statement) Query() *Query { return s.query }
 // WindowSize returns the number of currently retained events (after pruning
 // expired ones).
 func (s *Statement) WindowSize() int {
+	if s.inc != nil {
+		return s.inc.windowSize()
+	}
 	s.prune()
 	return len(s.window)
 }
@@ -143,6 +223,9 @@ func (s *Statement) prune() {
 // non-aggregated selects). Group order is the order groups first appeared,
 // so output is deterministic.
 func (s *Statement) Rows() ([]Row, error) {
+	if s.inc != nil {
+		return s.inc.rows()
+	}
 	s.prune()
 	q := s.query
 	grouped := len(q.GroupBy) > 0
@@ -306,6 +389,37 @@ func (s *Statement) MustRows() []Row {
 		panic(err)
 	}
 	return rows
+}
+
+// EachRow evaluates the statement and streams each output row to fn as
+// typed columns in select-list order. Row order, having, and limit behave
+// exactly like Rows. On the incremental fast path the cols slice is an
+// internal scratch buffer refilled per row — copy values out, do not retain
+// the slice. The generic fallback adapts Rows() output, so EachRow is
+// always available.
+func (s *Statement) EachRow(fn func(cols []Val)) error {
+	if s.inc != nil {
+		return s.inc.each(fn)
+	}
+	rows, err := s.Rows()
+	if err != nil {
+		return err
+	}
+	cols := make([]Val, len(s.query.Select))
+	for _, row := range rows {
+		for i, it := range s.query.Select {
+			cols[i] = valOf(row[it.Alias])
+		}
+		fn(cols)
+	}
+	return nil
+}
+
+// MustEachRow is EachRow but panics on evaluation errors.
+func (s *Statement) MustEachRow(fn func(cols []Val)) {
+	if err := s.EachRow(fn); err != nil {
+		panic(err)
+	}
 }
 
 func (s *Statement) project(rep *Event, group []*Event) (Row, error) {

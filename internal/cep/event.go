@@ -13,6 +13,11 @@
 // reads virtual time from a clock function so it runs inside the
 // discrete-event simulation, but nothing in the package depends on the
 // simulator.
+//
+// Events come in two representations. The map form (Fields) is the
+// flexible constructor for tests and ad-hoc tooling. High-rate producers
+// declare a Schema once and emit fixed-slot events through it, which
+// avoids the per-event map and boxing allocations entirely; see Schema.
 package cep
 
 import (
@@ -20,15 +25,88 @@ import (
 	"time"
 )
 
+// MaxSchemaFields caps the fixed-slot representation; schemas needing more
+// fields should use the map form.
+const MaxSchemaFields = 8
+
+// Schema declares an event type's field layout once, so producers can emit
+// events into interned fixed slots instead of building a map per event.
+// Field order is the slot order used by SetNum/SetStr/SetBool.
+type Schema struct {
+	typ   string
+	names []string
+	idx   map[string]int
+}
+
+// NewSchema interns a field layout for an event type. It panics on more
+// than MaxSchemaFields fields or duplicate names — schemas are static
+// declarations, so these are programming errors.
+func NewSchema(eventType string, fields ...string) *Schema {
+	if len(fields) > MaxSchemaFields {
+		panic(fmt.Sprintf("cep: schema %s has %d fields, max %d", eventType, len(fields), MaxSchemaFields))
+	}
+	s := &Schema{typ: eventType, names: fields, idx: make(map[string]int, len(fields))}
+	for i, f := range fields {
+		if _, dup := s.idx[f]; dup {
+			panic(fmt.Sprintf("cep: schema %s duplicates field %q", eventType, f))
+		}
+		s.idx[f] = i
+	}
+	return s
+}
+
+// Type returns the event type the schema describes.
+func (s *Schema) Type() string { return s.typ }
+
+// Index returns the slot index of a field, or -1 if the schema lacks it.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.idx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Event starts a typed event at the given virtual time. Fill slots with
+// SetNum/SetStr/SetBool and pass the value to Engine.Insert; the whole
+// construction is allocation-free.
+func (s *Schema) Event(t time.Duration) Event {
+	return Event{Time: t, Type: s.typ, schema: s}
+}
+
 // Event is one occurrence in a stream: a type name, a timestamp, and a flat
 // set of fields. Field values are float64, string, or bool. The engine
 // injects the builtin field "__time" (seconds since simulation start) so
 // queries can aggregate over timestamps, e.g. max(__time) for the last
 // access time.
+//
+// Events built through a Schema carry their fields in fixed slots; events
+// built literally carry them in the Fields map. The two forms behave
+// identically in queries.
 type Event struct {
 	Time   time.Duration
 	Type   string
 	Fields map[string]any
+
+	schema *Schema
+	slots  [MaxSchemaFields]Val
+}
+
+// SetNum stores a numeric field into slot i of a schema event.
+func (e *Event) SetNum(i int, v float64) { e.checkSlot(i); e.slots[i] = NumVal(v) }
+
+// SetStr stores a string field into slot i of a schema event.
+func (e *Event) SetStr(i int, v string) { e.checkSlot(i); e.slots[i] = StrVal(v) }
+
+// SetBool stores a boolean field into slot i of a schema event.
+func (e *Event) SetBool(i int, v bool) { e.checkSlot(i); e.slots[i] = BoolVal(v) }
+
+func (e *Event) checkSlot(i int) {
+	if e.schema == nil {
+		panic("cep: Set on an event without a schema")
+	}
+	if i < 0 || i >= len(e.schema.names) {
+		panic(fmt.Sprintf("cep: slot %d out of range for schema %s", i, e.schema.typ))
+	}
 }
 
 // Field returns the named field, with the builtin __time synthesized.
@@ -36,8 +114,29 @@ func (e *Event) Field(name string) (any, bool) {
 	if name == "__time" {
 		return e.Time.Seconds(), true
 	}
+	if e.schema != nil {
+		if i, ok := e.schema.idx[name]; ok {
+			return e.slots[i].box(), true
+		}
+		return nil, false
+	}
 	v, ok := e.Fields[name]
 	return v, ok
+}
+
+// fieldVal is the typed, non-boxing field fetch the incremental pipeline
+// uses. Missing fields are null.
+func (e *Event) fieldVal(name string) Val {
+	if name == "__time" {
+		return NumVal(e.Time.Seconds())
+	}
+	if e.schema != nil {
+		if i, ok := e.schema.idx[name]; ok {
+			return e.slots[i]
+		}
+		return Val{}
+	}
+	return valOf(e.Fields[name])
 }
 
 // Row is one output row of a statement evaluation, keyed by the select

@@ -1,0 +1,770 @@
+package cep
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file implements the incremental aggregation fast path. At Compile
+// time the planner inspects the parsed query; when every clause fits the
+// supported shapes it builds an incState that maintains per-group running
+// aggregates on insert and on window expiry, so Rows() costs O(groups)
+// instead of rescanning the retained window (O(events)).
+//
+// Fast-path requirements (anything else falls back to the generic
+// evaluator, chosen automatically):
+//
+//   - the query aggregates (group by, aggregate calls, or a having clause);
+//     plain row-per-event selects stay generic since they must retain rows
+//   - no order-by clause
+//   - group-by keys are plain field references, at most 3 of them
+//   - every aggregate call is count(*)/count(f)/sum(f)/avg(f)/min(f)/
+//     max(f)/first(f)/last(f) over a plain field reference (including the
+//     builtin __time)
+//
+// Select and having expressions may combine those aggregates, field
+// references, and literals with any operators: the planner rewrites the
+// expression tree in place, replacing aggregate calls and field references
+// with bound nodes that read the current group's running state.
+
+// maxGroupKeyFields caps the typed composite group key.
+const maxGroupKeyFields = 3
+
+// groupKey is a comparable composite key over at most maxGroupKeyFields
+// typed values — no fmt round-trip, no per-insert allocation.
+type groupKey struct {
+	n uint8
+	v [maxGroupKeyFields]Val
+}
+
+// ring is a growable circular buffer (FIFO).
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		grown := make([]T, maxInt(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *ring[T]) pop() T {
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)%len(r.buf)] }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// expEntry is one retained record in the statement-level expiry FIFO: the
+// group it belongs to plus its event time. Records expire in insertion
+// order, exactly like the generic window's front-pruning.
+type expEntry struct {
+	t time.Duration
+	g *incGroup
+}
+
+// mdq is a monotonic deque for sliding-window min/max: amortized O(1) per
+// insert and expiry. Entries are expired by record sequence number.
+type dqEnt struct {
+	seq uint64
+	v   float64
+}
+
+type mdq struct {
+	buf  []dqEnt
+	head int
+}
+
+func (d *mdq) len() int      { return len(d.buf) - d.head }
+func (d *mdq) front() dqEnt  { return d.buf[d.head] }
+func (d *mdq) popFront() {
+	d.head++
+	if d.head > 64 && d.head > len(d.buf)/2 {
+		d.buf = append(d.buf[:0], d.buf[d.head:]...)
+		d.head = 0
+	}
+}
+
+// pushMin maintains an increasing deque: front is the window minimum.
+func (d *mdq) pushMin(seq uint64, v float64) {
+	for len(d.buf) > d.head && d.buf[len(d.buf)-1].v >= v {
+		d.buf = d.buf[:len(d.buf)-1]
+	}
+	d.buf = append(d.buf, dqEnt{seq, v})
+}
+
+// pushMax maintains a decreasing deque: front is the window maximum.
+func (d *mdq) pushMax(seq uint64, v float64) {
+	for len(d.buf) > d.head && d.buf[len(d.buf)-1].v <= v {
+		d.buf = d.buf[:len(d.buf)-1]
+	}
+	d.buf = append(d.buf, dqEnt{seq, v})
+}
+
+// expire drops deque entries belonging to records at or before seq.
+func (d *mdq) expire(seq uint64) {
+	for d.len() > 0 && d.front().seq <= seq {
+		d.popFront()
+	}
+}
+
+// statNeed flags which running statistics a captured field must maintain.
+type statNeed struct {
+	sum   bool // sum/avg
+	min   bool
+	max   bool
+	first bool
+}
+
+// fieldStats is the per-group running state for one captured field. n and
+// bad mirror the generic aggregate loop: n counts live non-null numeric
+// values, bad counts live non-null non-numeric ones (whose presence makes
+// numeric aggregates error, exactly like the generic evaluator).
+type fieldStats struct {
+	n, bad int
+	sum    float64
+	runMin float64 // keepall windows only (no expiry)
+	runMax float64
+	first  Val // keepall windows only
+	dqMin  mdq // expiring windows only
+	dqMax  mdq
+}
+
+// aggPlan is one planned aggregate call.
+type aggPlan struct {
+	fn      string
+	star    bool
+	statIdx int // index into per-group stats / recIdx (-1 for count(*) and last)
+	fldIdx  int // index into evFields for the argument (-1 for count(*))
+}
+
+// selSource tells EachRow how to produce one output column without boxing.
+type selKind uint8
+
+const (
+	srcField selKind = iota // repVals[idx]
+	srcAgg                  // aggs[idx]
+	srcExpr                 // selBound[i] generic eval, then valOf
+)
+
+type selSource struct {
+	kind selKind
+	idx  int
+}
+
+// incGroup is the running state of one surviving group.
+type incGroup struct {
+	key      groupKey
+	firstSeq uint64 // keepall: creation seq; windowed: seqs front
+	live     int
+	repVals  []Val // latest event's captured fields (the generic "representative")
+	seqs     ring[uint64]
+	recs     ring[Val] // flattened: one Val per recIdx field per record
+	stats    []fieldStats
+}
+
+// incState is a statement's incremental plan plus runtime state.
+type incState struct {
+	s *Statement
+
+	evFields []string // fields captured per event
+	groupIdx []int    // group-by keys, as indices into evFields
+	recIdx   []int    // per-record retained fields (aggregate inputs), into evFields
+	needs    []statNeed
+	aggs     []aggPlan
+	selSrc   []selSource
+	selBound []Expr // rewritten select expressions (Row projection)
+	having   Expr   // rewritten having, aliases substituted at compile time
+	pred     predNode
+
+	groups map[groupKey]*incGroup
+	expiry ring[expEntry]
+	seq    uint64
+	live   int
+	cur    *incGroup // group under evaluation, read by bound nodes
+
+	scratch     []Val
+	grpScratch  []*incGroup
+	colsScratch []Val
+}
+
+func (st *incState) windowed() bool {
+	return st.s.query.Window.Kind != WindowKeepAll
+}
+
+// --- planner ---
+
+// planIncremental returns an incState when the query fits the fast path,
+// nil to fall back to the generic evaluator.
+func planIncremental(s *Statement) *incState {
+	q := s.query
+	if len(q.OrderBy) > 0 {
+		return nil
+	}
+	grouped := len(q.GroupBy) > 0
+	hasAgg := q.Having != nil
+	for _, it := range q.Select {
+		if it.Expr.hasAggregate() {
+			hasAgg = true
+		}
+	}
+	if !grouped && !hasAgg {
+		return nil // row-per-event: rows must be retained anyway
+	}
+	if len(q.GroupBy) > maxGroupKeyFields {
+		return nil
+	}
+	st := &incState{s: s, groups: make(map[groupKey]*incGroup)}
+	for _, g := range q.GroupBy {
+		f, ok := g.(*fieldExpr)
+		if !ok {
+			return nil
+		}
+		st.groupIdx = append(st.groupIdx, st.fieldIndex(f.name))
+	}
+	aliases := make(map[string]Expr, len(q.Select))
+	for _, it := range q.Select {
+		if _, dup := aliases[it.Alias]; !dup {
+			aliases[it.Alias] = it.Expr
+		}
+	}
+	for _, it := range q.Select {
+		bound, ok := st.rewrite(it.Expr, nil)
+		if !ok {
+			return nil
+		}
+		st.selBound = append(st.selBound, bound)
+		st.selSrc = append(st.selSrc, st.sourceOf(bound))
+	}
+	if q.Having != nil {
+		bound, ok := st.rewrite(q.Having, aliases)
+		if !ok {
+			return nil
+		}
+		st.having = bound
+	}
+	if q.Where != nil {
+		st.pred = compilePred(q.Where) // nil is fine: generic eval per event
+	}
+	st.scratch = make([]Val, len(st.evFields))
+	st.colsScratch = make([]Val, len(st.selSrc))
+	return st
+}
+
+// fieldIndex interns a captured field name.
+func (st *incState) fieldIndex(name string) int {
+	for i, f := range st.evFields {
+		if f == name {
+			return i
+		}
+	}
+	st.evFields = append(st.evFields, name)
+	return len(st.evFields) - 1
+}
+
+// recFieldIndex interns a per-record retained field, returning its stats
+// slot.
+func (st *incState) recFieldIndex(name string) int {
+	fi := st.fieldIndex(name)
+	for i, ri := range st.recIdx {
+		if ri == fi {
+			return i
+		}
+	}
+	st.recIdx = append(st.recIdx, fi)
+	st.needs = append(st.needs, statNeed{})
+	return len(st.recIdx) - 1
+}
+
+// rewrite maps a parsed expression onto bound nodes reading group state.
+// aliases is non-nil only for the having clause, mirroring the generic
+// evaluator's alias-aware substitution (and, like it, substituted select
+// expressions are not themselves re-substituted).
+func (st *incState) rewrite(e Expr, aliases map[string]Expr) (Expr, bool) {
+	switch x := e.(type) {
+	case *litExpr:
+		return x, true
+	case *fieldExpr:
+		if aliases != nil {
+			if sel, ok := aliases[x.name]; ok {
+				return st.rewrite(sel, nil)
+			}
+		}
+		return &boundField{st: st, idx: st.fieldIndex(x.name), name: x.name}, true
+	case *aggExpr:
+		ai, ok := st.addAgg(x)
+		if !ok {
+			return nil, false
+		}
+		return &boundAgg{st: st, idx: ai, src: x}, true
+	case *unaryExpr:
+		sub, ok := st.rewrite(x.sub, aliases)
+		if !ok {
+			return nil, false
+		}
+		return &unaryExpr{op: x.op, sub: sub}, true
+	case *binaryExpr:
+		l, ok := st.rewrite(x.left, aliases)
+		if !ok {
+			return nil, false
+		}
+		r, ok := st.rewrite(x.right, aliases)
+		if !ok {
+			return nil, false
+		}
+		return &binaryExpr{op: x.op, left: l, right: r}, true
+	}
+	return nil, false
+}
+
+// addAgg plans one aggregate call, deduplicating identical ones.
+func (st *incState) addAgg(x *aggExpr) (int, bool) {
+	argName := ""
+	if !x.star {
+		f, ok := x.arg.(*fieldExpr)
+		if !ok {
+			return 0, false
+		}
+		argName = f.name
+	}
+	for i, ap := range st.aggs {
+		if ap.fn == x.fn && ap.star == x.star && (ap.fldIdx == -1 && x.star ||
+			ap.fldIdx >= 0 && !x.star && st.evFields[ap.fldIdx] == argName) {
+			return i, true
+		}
+	}
+	ap := aggPlan{fn: x.fn, star: x.star, statIdx: -1, fldIdx: -1}
+	if !x.star {
+		ap.fldIdx = st.fieldIndex(argName)
+		switch x.fn {
+		case "count", "sum", "avg", "min", "max", "first":
+			ap.statIdx = st.recFieldIndex(argName)
+			need := &st.needs[ap.statIdx]
+			switch x.fn {
+			case "sum", "avg":
+				need.sum = true
+			case "min":
+				need.min = true
+			case "max":
+				need.max = true
+			case "first":
+				need.first = true
+			}
+		case "last":
+			// resolved from repVals
+		default:
+			return 0, false
+		}
+	} else if x.fn != "count" {
+		return 0, false
+	}
+	st.aggs = append(st.aggs, ap)
+	return len(st.aggs) - 1, true
+}
+
+// sourceOf classifies a bound select expression for EachRow's typed output.
+func (st *incState) sourceOf(bound Expr) selSource {
+	switch x := bound.(type) {
+	case *boundField:
+		return selSource{kind: srcField, idx: x.idx}
+	case *boundAgg:
+		return selSource{kind: srcAgg, idx: x.idx}
+	}
+	return selSource{kind: srcExpr, idx: len(st.selBound) - 1}
+}
+
+// --- bound expression nodes ---
+
+type boundField struct {
+	st   *incState
+	idx  int
+	name string
+}
+
+func (b *boundField) eval(*Event, []*Event) (any, error) {
+	return b.st.cur.repVals[b.idx].box(), nil
+}
+func (b *boundField) hasAggregate() bool { return false }
+func (b *boundField) text() string       { return b.name }
+
+type boundAgg struct {
+	st  *incState
+	idx int
+	src *aggExpr
+}
+
+func (b *boundAgg) eval(*Event, []*Event) (any, error) {
+	v, err := b.st.aggValue(b.st.cur, b.idx)
+	if err != nil {
+		return nil, err
+	}
+	return v.box(), nil
+}
+func (b *boundAgg) hasAggregate() bool { return true }
+func (b *boundAgg) text() string       { return b.src.text() }
+
+// --- runtime: insert, expiry, evaluation ---
+
+func (st *incState) insert(ev *Event) error {
+	if st.s.query.Where != nil {
+		keep, err := st.evalWhere(ev)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+	}
+	st.pruneTime()
+	for i, f := range st.evFields {
+		st.scratch[i] = ev.fieldVal(f)
+	}
+	var key groupKey
+	key.n = uint8(len(st.groupIdx))
+	for i, gi := range st.groupIdx {
+		key.v[i] = st.scratch[gi]
+	}
+	g := st.groups[key]
+	created := g == nil
+	if created {
+		g = &incGroup{
+			key:      key,
+			firstSeq: st.seq,
+			repVals:  make([]Val, len(st.evFields)),
+			stats:    make([]fieldStats, len(st.recIdx)),
+		}
+		st.groups[key] = g
+	}
+	seq := st.seq
+	st.seq++
+	copy(g.repVals, st.scratch)
+	g.live++
+	st.live++
+	windowed := st.windowed()
+	if windowed {
+		g.seqs.push(seq)
+		for _, fi := range st.recIdx {
+			g.recs.push(st.scratch[fi])
+		}
+		st.expiry.push(expEntry{t: ev.Time, g: g})
+	}
+	for j, fi := range st.recIdx {
+		v := st.scratch[fi]
+		fs := &g.stats[j]
+		if created && st.needs[j].first {
+			fs.first = v // first record's value, null included (generic parity)
+		}
+		if v.IsNull() {
+			continue
+		}
+		f, numeric := v.numeric()
+		if !numeric {
+			fs.bad++
+			continue
+		}
+		fs.n++
+		if st.needs[j].sum {
+			fs.sum += f
+		}
+		if windowed {
+			if st.needs[j].min {
+				fs.dqMin.pushMin(seq, f)
+			}
+			if st.needs[j].max {
+				fs.dqMax.pushMax(seq, f)
+			}
+		} else {
+			if fs.n == 1 {
+				fs.runMin, fs.runMax = f, f
+			} else {
+				if f < fs.runMin {
+					fs.runMin = f
+				}
+				if f > fs.runMax {
+					fs.runMax = f
+				}
+			}
+		}
+	}
+	if w := st.s.query.Window; w.Kind == WindowLength && st.live > w.N {
+		e := st.expiry.pop()
+		st.expireFront(e.g)
+	}
+	return nil
+}
+
+// evalWhere applies the where clause to one event: the typed predicate when
+// compiled and the event is schema-built, the generic evaluator otherwise.
+func (st *incState) evalWhere(ev *Event) (bool, error) {
+	if st.pred != nil && ev.schema != nil {
+		keep, err := st.pred.test(ev)
+		if err != nil {
+			return false, fmt.Errorf("cep: where clause: %w", err)
+		}
+		return keep, nil
+	}
+	v, err := st.s.query.Where.eval(ev, nil)
+	if err != nil {
+		return false, fmt.Errorf("cep: where clause: %w", err)
+	}
+	keep, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("cep: where clause is not boolean")
+	}
+	return keep, nil
+}
+
+// pruneTime expires records older than the time window, front-first in
+// insertion order — the same policy as the generic window.
+func (st *incState) pruneTime() {
+	w := st.s.query.Window
+	if w.Kind != WindowTime {
+		return
+	}
+	cutoff := st.s.engine.clock() - w.Dur
+	for st.expiry.len() > 0 && st.expiry.at(0).t < cutoff {
+		e := st.expiry.pop()
+		st.expireFront(e.g)
+	}
+}
+
+// expireFront removes the group's oldest record from its running state.
+func (st *incState) expireFront(g *incGroup) {
+	seq := g.seqs.pop()
+	for j := range st.recIdx {
+		v := g.recs.pop()
+		fs := &g.stats[j]
+		if v.IsNull() {
+			continue
+		}
+		f, numeric := v.numeric()
+		if !numeric {
+			fs.bad--
+			continue
+		}
+		fs.n--
+		if st.needs[j].sum {
+			fs.sum -= f
+		}
+	}
+	for j := range st.recIdx {
+		if st.needs[j].min {
+			g.stats[j].dqMin.expire(seq)
+		}
+		if st.needs[j].max {
+			g.stats[j].dqMax.expire(seq)
+		}
+	}
+	g.live--
+	st.live--
+	if g.live == 0 {
+		delete(st.groups, g.key)
+	}
+}
+
+// aggValue resolves one planned aggregate against a group's running state,
+// with the generic evaluator's null and type-error semantics.
+func (st *incState) aggValue(g *incGroup, idx int) (Val, error) {
+	ap := st.aggs[idx]
+	if ap.star {
+		return NumVal(float64(g.live)), nil
+	}
+	switch ap.fn {
+	case "last":
+		return g.repVals[ap.fldIdx], nil
+	case "first":
+		if st.windowed() {
+			return g.recs.at(ap.statIdx), nil
+		}
+		return g.stats[ap.statIdx].first, nil
+	}
+	fs := &g.stats[ap.statIdx]
+	if fs.bad > 0 {
+		return Val{}, fmt.Errorf("cep: %s over non-numeric field", ap.fn)
+	}
+	switch ap.fn {
+	case "count":
+		return NumVal(float64(fs.n)), nil
+	case "sum":
+		return NumVal(fs.sum), nil
+	case "avg":
+		if fs.n == 0 {
+			return Val{}, nil
+		}
+		return NumVal(fs.sum / float64(fs.n)), nil
+	case "min":
+		if st.windowed() {
+			if fs.dqMin.len() == 0 {
+				return Val{}, nil
+			}
+			return NumVal(fs.dqMin.front().v), nil
+		}
+		if fs.n == 0 {
+			return Val{}, nil
+		}
+		return NumVal(fs.runMin), nil
+	case "max":
+		if st.windowed() {
+			if fs.dqMax.len() == 0 {
+				return Val{}, nil
+			}
+			return NumVal(fs.dqMax.front().v), nil
+		}
+		if fs.n == 0 {
+			return Val{}, nil
+		}
+		return NumVal(fs.runMax), nil
+	}
+	return Val{}, fmt.Errorf("cep: unknown aggregate %q", ap.fn)
+}
+
+// first() reads the group's oldest retained record. recs.at(statIdx) works
+// because the oldest record's fields occupy the ring's first stride.
+
+// surviving collects live groups ordered by the sequence of their oldest
+// surviving record — exactly the generic evaluator's "order groups first
+// appeared in the current window".
+func (st *incState) surviving() []*incGroup {
+	st.grpScratch = st.grpScratch[:0]
+	for _, g := range st.groups {
+		if st.windowed() {
+			g.firstSeq = g.seqs.at(0)
+		}
+		st.grpScratch = append(st.grpScratch, g)
+	}
+	sort.Slice(st.grpScratch, func(a, b int) bool {
+		return st.grpScratch[a].firstSeq < st.grpScratch[b].firstSeq
+	})
+	return st.grpScratch
+}
+
+// checkHaving evaluates the bound having clause for st.cur.
+func (st *incState) checkHaving() (bool, error) {
+	if st.having == nil {
+		return true, nil
+	}
+	v, err := st.having.eval(nil, nil)
+	if err != nil {
+		return false, fmt.Errorf("cep: having clause: %w", err)
+	}
+	pass, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("cep: having clause is not boolean")
+	}
+	return pass, nil
+}
+
+// rows is the incremental Rows() evaluation: O(groups log groups).
+func (st *incState) rows() ([]Row, error) {
+	st.pruneTime()
+	if st.live == 0 {
+		return nil, nil
+	}
+	q := st.s.query
+	var out []Row
+	for _, g := range st.surviving() {
+		st.cur = g
+		pass, err := st.checkHaving()
+		if err != nil {
+			return nil, err
+		}
+		if !pass {
+			continue
+		}
+		row := make(Row, len(q.Select))
+		for i, it := range q.Select {
+			v, err := st.selBound[i].eval(nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			row[it.Alias] = v
+		}
+		out = append(out, row)
+		if q.Limit > 0 && len(out) == q.Limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// each is the incremental EachRow evaluation: typed columns, no boxing for
+// field and aggregate outputs.
+func (st *incState) each(fn func(cols []Val)) error {
+	st.pruneTime()
+	if st.live == 0 {
+		return nil
+	}
+	q := st.s.query
+	emitted := 0
+	for _, g := range st.surviving() {
+		st.cur = g
+		pass, err := st.checkHaving()
+		if err != nil {
+			return err
+		}
+		if !pass {
+			continue
+		}
+		for i, src := range st.selSrc {
+			switch src.kind {
+			case srcField:
+				st.colsScratch[i] = g.repVals[src.idx]
+			case srcAgg:
+				v, err := st.aggValue(g, src.idx)
+				if err != nil {
+					return err
+				}
+				st.colsScratch[i] = v
+			default:
+				v, err := st.selBound[i].eval(nil, nil)
+				if err != nil {
+					return err
+				}
+				st.colsScratch[i] = valOf(v)
+			}
+		}
+		fn(st.colsScratch)
+		emitted++
+		if q.Limit > 0 && emitted == q.Limit {
+			break
+		}
+	}
+	return nil
+}
+
+// windowSize returns the number of live retained records after pruning.
+func (st *incState) windowSize() int {
+	st.pruneTime()
+	return st.live
+}
+
+// reset releases all runtime state (statement closed).
+func (st *incState) reset() {
+	st.groups = make(map[groupKey]*incGroup)
+	st.expiry = ring[expEntry]{}
+	st.live = 0
+	st.cur = nil
+	st.grpScratch = nil
+}

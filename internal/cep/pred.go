@@ -1,0 +1,125 @@
+package cep
+
+// Typed where-clause predicates. For schema-built events the generic
+// expression evaluator would box every field read; compilePred lowers the
+// common where shapes (comparisons between fields and literals combined
+// with and/or/not) into predNodes that read Vals directly. Anything it
+// can't lower — arithmetic, unknown operators — keeps the generic
+// per-event evaluation, so semantics never change, only cost.
+
+type predNode interface {
+	test(ev *Event) (bool, error)
+}
+
+type litPred struct{ v bool }
+
+func (p litPred) test(*Event) (bool, error) { return p.v, nil }
+
+type notPred struct{ sub predNode }
+
+func (p notPred) test(ev *Event) (bool, error) {
+	v, err := p.sub.test(ev)
+	return !v, err
+}
+
+type andPred struct{ l, r predNode }
+
+func (p andPred) test(ev *Event) (bool, error) {
+	v, err := p.l.test(ev)
+	if err != nil || !v {
+		// Short-circuit, like the generic evaluator: the right side's
+		// errors are not surfaced when the left side is false.
+		return false, err
+	}
+	return p.r.test(ev)
+}
+
+type orPred struct{ l, r predNode }
+
+func (p orPred) test(ev *Event) (bool, error) {
+	v, err := p.l.test(ev)
+	if err != nil || v {
+		return v, err
+	}
+	return p.r.test(ev)
+}
+
+// predOperand is a field reference or a literal.
+type predOperand struct {
+	field   string
+	lit     Val
+	isField bool
+}
+
+func (o *predOperand) val(ev *Event) Val {
+	if o.isField {
+		return ev.fieldVal(o.field)
+	}
+	return o.lit
+}
+
+type cmpPred struct {
+	op   string
+	l, r predOperand
+}
+
+func (p cmpPred) test(ev *Event) (bool, error) {
+	a, b := p.l.val(ev), p.r.val(ev)
+	switch p.op {
+	case "=":
+		return valLooseEqual(a, b), nil
+	case "!=":
+		return !valLooseEqual(a, b), nil
+	}
+	return valCompare(p.op, a, b)
+}
+
+// compilePred lowers a where expression to a predNode, or nil when the
+// shape is unsupported.
+func compilePred(e Expr) predNode {
+	switch x := e.(type) {
+	case *litExpr:
+		if b, ok := x.val.(bool); ok {
+			return litPred{b}
+		}
+	case *unaryExpr:
+		if x.op == "not" {
+			if sub := compilePred(x.sub); sub != nil {
+				return notPred{sub}
+			}
+		}
+	case *binaryExpr:
+		switch x.op {
+		case "and", "or":
+			l, r := compilePred(x.left), compilePred(x.right)
+			if l == nil || r == nil {
+				return nil
+			}
+			if x.op == "and" {
+				return andPred{l, r}
+			}
+			return orPred{l, r}
+		case "=", "!=", "<", "<=", ">", ">=":
+			l, ok := predOperandOf(x.left)
+			if !ok {
+				return nil
+			}
+			r, ok := predOperandOf(x.right)
+			if !ok {
+				return nil
+			}
+			return cmpPred{op: x.op, l: l, r: r}
+		}
+	}
+	return nil
+}
+
+func predOperandOf(e Expr) (predOperand, bool) {
+	switch x := e.(type) {
+	case *fieldExpr:
+		return predOperand{field: x.name, isField: true}, true
+	case *litExpr:
+		return predOperand{lit: valOf(x.val)}, true
+	}
+	return predOperand{}, false
+}

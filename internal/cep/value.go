@@ -1,0 +1,176 @@
+package cep
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// valKind discriminates the compact Val representation.
+type valKind uint8
+
+const (
+	kindNull valKind = iota
+	kindNum
+	kindStr
+	kindBool
+	// kindOpaque covers map-event field values outside the engine's scalar
+	// set (float64/string/bool/int/int64). They degrade to their printed
+	// form: usable as group keys and equality operands, an error inside
+	// numeric aggregates — the same places the generic evaluator rejects
+	// them.
+	kindOpaque
+)
+
+// Val is a compact typed field value: a float64, string, bool, or null,
+// without the per-value heap boxing of `any`. The incremental pipeline and
+// EachRow use it end to end so the hot path never allocates.
+type Val struct {
+	k   valKind
+	num float64
+	str string
+}
+
+// NumVal wraps a float64.
+func NumVal(f float64) Val { return Val{k: kindNum, num: f} }
+
+// StrVal wraps a string.
+func StrVal(s string) Val { return Val{k: kindStr, str: s} }
+
+// BoolVal wraps a bool.
+func BoolVal(b bool) Val {
+	v := Val{k: kindBool}
+	if b {
+		v.num = 1
+	}
+	return v
+}
+
+// NullVal is the missing-field value (also the zero Val).
+func NullVal() Val { return Val{} }
+
+// IsNull reports whether the value is null (field absent).
+func (v Val) IsNull() bool { return v.k == kindNull }
+
+// Num returns the value as a float64 with the engine's usual coercions
+// (bool becomes 0/1); non-numeric values yield 0, mirroring Row.Num.
+func (v Val) Num() float64 {
+	switch v.k {
+	case kindNum, kindBool:
+		return v.num
+	}
+	return 0
+}
+
+// Str returns the value as a string, rendering non-strings via their
+// printed form, mirroring Row.Str ("" for null).
+func (v Val) Str() string {
+	switch v.k {
+	case kindStr, kindOpaque:
+		return v.str
+	case kindNum:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case kindBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return ""
+}
+
+// Bool returns the value as a bool (false unless a true bool).
+func (v Val) Bool() bool { return v.k == kindBool && v.num != 0 }
+
+// numeric reports the float64 form and whether the value coerces to a
+// number, mirroring toFloat (numbers and bools do; strings do not).
+func (v Val) numeric() (float64, bool) {
+	switch v.k {
+	case kindNum, kindBool:
+		return v.num, true
+	}
+	return 0, false
+}
+
+// box converts to the `any` representation the generic evaluator and Row
+// maps use. Only called on cold paths (row projection, error formatting).
+func (v Val) box() any {
+	switch v.k {
+	case kindNum:
+		return v.num
+	case kindStr, kindOpaque:
+		return v.str
+	case kindBool:
+		return v.num != 0
+	}
+	return nil
+}
+
+// valOf converts a boxed field value to a Val. Scalar kinds map losslessly;
+// anything else degrades to its printed form (kindOpaque).
+func valOf(x any) Val {
+	switch t := x.(type) {
+	case nil:
+		return Val{}
+	case float64:
+		return NumVal(t)
+	case string:
+		return StrVal(t)
+	case bool:
+		return BoolVal(t)
+	case int:
+		return NumVal(float64(t))
+	case int64:
+		return NumVal(float64(t))
+	}
+	return Val{k: kindOpaque, str: fmt.Sprint(x)}
+}
+
+// valLooseEqual mirrors looseEqual over Vals: numeric coercion first, then
+// string equality, then strict kind+value identity.
+func valLooseEqual(a, b Val) bool {
+	if af, ok := a.numeric(); ok {
+		if bf, ok2 := b.numeric(); ok2 {
+			return af == bf
+		}
+		return false
+	}
+	if a.k == kindStr && b.k == kindStr {
+		return a.str == b.str
+	}
+	return a == b
+}
+
+// valCompare mirrors compare over Vals for the ordering operators.
+func valCompare(op string, a, b Val) (bool, error) {
+	var cmp float64
+	if af, ok := a.numeric(); ok {
+		bf, ok2 := b.numeric()
+		if !ok2 {
+			return false, fmt.Errorf("cep: comparing number with %T", b.box())
+		}
+		cmp = af - bf
+	} else if a.k == kindStr {
+		if b.k != kindStr {
+			return false, fmt.Errorf("cep: comparing string with %T", b.box())
+		}
+		switch {
+		case a.str < b.str:
+			cmp = -1
+		case a.str > b.str:
+			cmp = 1
+		}
+	} else {
+		return false, fmt.Errorf("cep: unorderable type %T", a.box())
+	}
+	switch op {
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	}
+	return false, fmt.Errorf("cep: unknown comparison %q", op)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDecodeGoldenTrace pins the judge's decode path on a recorded trace: a
+// cold file is encoded, warms up again, and Formula 6 fires ActionDecode.
+// The golden strings were captured from the engine before the typed
+// incremental CEP pipeline landed; the refactor must reproduce them
+// byte-for-byte.
+func TestDecodeGoldenTrace(t *testing.T) {
+	e, h, m := testbed(t, smallThresholds())
+	h.CreateFile("/archive", 640*mb, 3, 0)
+	h.CreateFile("/other", 64*mb, 3, 0)
+
+	// Age both files past ColdAge with no accesses; the first judging pass
+	// encodes them.
+	e.RunUntil(40 * time.Minute)
+	m.RunJudgeOnce()
+	e.RunUntil(80 * time.Minute)
+	if !h.File("/archive").Encoded || !h.File("/other").Encoded {
+		t.Fatal("cold files not encoded")
+	}
+
+	// Warm the archive: the next pass must decode it immediately while the
+	// untouched file stays encoded.
+	h.ReadFile(2, "/archive", nil)
+	e.RunUntil(81 * time.Minute)
+	m.RunJudgeOnce()
+	e.RunUntil(120 * time.Minute)
+	if h.File("/archive").Encoded {
+		t.Fatal("warmed file still encoded")
+	}
+	if h.File("/other").Encoded == false {
+		t.Fatal("idle file should stay encoded")
+	}
+
+	var got []string
+	for _, d := range m.History() {
+		got = append(got, d.String())
+	}
+	want := []string{
+		"  2400.0s cold     encode    /archive -> r=1 (formula 6: idle 40 min)",
+		"  2400.0s cold     encode    /other -> r=1 (formula 6: idle 40 min)",
+		"  4860.0s hot      decode    /archive -> r=3 (formula 6: encoded file accessed 1 times in window)",
+		"  7200.0s cold     encode    /archive -> r=1 (formula 6: idle 40 min)",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decision count = %d, want %d:\n%q", len(got), len(want), got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("decision %d =\n  %q\nwant\n  %q", i, got[i], want[i])
+		}
+	}
+}

@@ -83,6 +83,27 @@ func (d Decision) String() string {
 		d.Time.Seconds(), d.Class, d.Action, d.Path, d.TargetRepl, d.Formula, d.Reason)
 }
 
+// Typed CEP schemas for the judge's two input streams. Declaring the field
+// layout once lets the audit and block-read subscribers emit fixed-slot
+// events with no per-event map or boxing allocations.
+var (
+	accessSchema = cep.NewSchema("Access", "path", "cmd", "ip")
+	blockSchema  = cep.NewSchema("BlockAccess", "path", "block", "datanode")
+)
+
+// Slot indices for the schemas above (order matches NewSchema).
+const (
+	accessPath = iota
+	accessCmd
+	accessIP
+)
+
+const (
+	blockPath = iota
+	blockBlock
+	blockDatanode
+)
+
 // Judge consumes the cluster's audit and block-read streams through the
 // CEP engine and classifies files each window.
 type Judge struct {
@@ -152,22 +173,18 @@ func NewJudge(cluster *hdfs.Cluster, th Thresholds) *Judge {
 				j.predictor.Forget(r.Src)
 			}
 		}
-		j.engine.Insert(cep.Event{
-			Time: r.Time, Type: "Access",
-			Fields: map[string]any{
-				"path": r.Src, "cmd": string(r.Cmd), "ip": r.IP,
-			},
-		})
+		cev := accessSchema.Event(r.Time)
+		cev.SetStr(accessPath, r.Src)
+		cev.SetStr(accessCmd, string(r.Cmd))
+		cev.SetStr(accessIP, r.IP)
+		j.engine.Insert(cev)
 	})
 	cluster.OnBlockRead(func(ev hdfs.BlockReadEvent) {
-		j.engine.Insert(cep.Event{
-			Time: ev.Time, Type: "BlockAccess",
-			Fields: map[string]any{
-				"path":     ev.Path,
-				"block":    float64(ev.Block),
-				"datanode": float64(ev.Datanode),
-			},
-		})
+		bev := blockSchema.Event(ev.Time)
+		bev.SetStr(blockPath, ev.Path)
+		bev.SetNum(blockBlock, float64(ev.Block))
+		bev.SetNum(blockDatanode, float64(ev.Datanode))
+		j.engine.Insert(bev)
 	})
 	return j
 }
@@ -209,19 +226,20 @@ func (j *Judge) Evaluate() []Decision {
 	now := j.cluster.Engine().Now()
 	var out []Decision
 
-	// Collect window aggregates.
+	// Collect window aggregates. EachRow streams typed columns straight off
+	// the incremental group state — no Row maps on the hot path.
 	fileCnt := map[string]float64{}
-	for _, row := range j.fileStmt.MustRows() {
-		fileCnt[row.Str("path")] = row.Num("cnt")
-	}
+	j.fileStmt.MustEachRow(func(cols []cep.Val) {
+		fileCnt[cols[0].Str()] = cols[1].Num()
+	})
 	blockCnt := map[string]map[hdfs.BlockID]float64{}
-	for _, row := range j.blockStmt.MustRows() {
-		p := row.Str("path")
+	j.blockStmt.MustEachRow(func(cols []cep.Val) {
+		p := cols[0].Str()
 		if blockCnt[p] == nil {
 			blockCnt[p] = map[hdfs.BlockID]float64{}
 		}
-		blockCnt[p][hdfs.BlockID(row.Num("block"))] = row.Num("cnt")
-	}
+		blockCnt[p][hdfs.BlockID(cols[1].Num())] = cols[2].Num()
+	})
 
 	hotTarget := map[string]Decision{}
 	markHot := func(path string, nd float64, formula int, reason string) {
@@ -336,16 +354,17 @@ func (j *Judge) Evaluate() []Decision {
 
 	// Formula (4): overloaded datanodes — boost the file contributing the
 	// most accesses on that node.
-	for _, row := range j.dnStmt.MustRows() {
-		if row.Num("cnt") <= j.th.TauDN {
-			continue
+	j.dnStmt.MustEachRow(func(cols []cep.Val) {
+		cnt := cols[1].Num()
+		if cnt <= j.th.TauDN {
+			return
 		}
-		dn := hdfs.DatanodeID(row.Num("datanode"))
+		dn := hdfs.DatanodeID(cols[0].Num())
 		if top, nd, ok := j.topContributor(dn, blockCnt); ok {
 			markHot(top, nd, 4, fmt.Sprintf("datanode %d served %.0f block reads > τ_DN %.0f",
-				dn, row.Num("cnt"), j.th.TauDN))
+				dn, cnt, j.th.TauDN))
 		}
-	}
+	})
 
 	for _, path := range sortedKeys(hotTarget) {
 		out = append(out, hotTarget[path])

@@ -242,11 +242,12 @@ type Cluster struct {
 	fabric *netsim.Fabric
 	cfg    Config
 
-	files     map[string]*INode
-	blocks    map[BlockID]*Block
-	replicas  map[BlockID][]DatanodeID
-	datanodes []*Datanode
-	nextBlock BlockID
+	files      map[string]*INode
+	pathsCache []string // sorted FilePaths memo; nil after namespace changes
+	blocks     map[BlockID]*Block
+	replicas   map[BlockID][]DatanodeID
+	datanodes  []*Datanode
+	nextBlock  BlockID
 
 	placement Policy
 	audit     *auditlog.Log
@@ -350,14 +351,18 @@ func (c *Cluster) Standby() []DatanodeID { return c.inState(StateStandby) }
 // File returns the INode for path, or nil.
 func (c *Cluster) File(path string) *INode { return c.files[path] }
 
-// FilePaths returns every file path in the namespace, sorted.
+// FilePaths returns every file path in the namespace, sorted. The slice is
+// memoized until the namespace changes — the judge calls this every pass —
+// so callers must not mutate it.
 func (c *Cluster) FilePaths() []string {
-	out := make([]string, 0, len(c.files))
-	for p := range c.files {
-		out = append(out, p)
+	if c.pathsCache == nil {
+		c.pathsCache = make([]string, 0, len(c.files))
+		for p := range c.files {
+			c.pathsCache = append(c.pathsCache, p)
+		}
+		sort.Strings(c.pathsCache)
 	}
-	sort.Strings(out)
-	return out
+	return c.pathsCache
 }
 
 // Files returns the number of files.
@@ -456,6 +461,7 @@ func (c *Cluster) CreateFile(path string, size float64, repl int, writer topolog
 		}
 	}
 	c.files[path] = f
+	c.pathsCache = nil
 	c.audit.Append(auditlog.Record{
 		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
 		IP: c.clientIP(writer), Cmd: auditlog.CmdCreate, Src: path,
@@ -480,6 +486,7 @@ func (c *Cluster) DeleteFile(path string) error {
 		}
 	}
 	delete(c.files, path)
+	c.pathsCache = nil
 	c.audit.Append(auditlog.Record{
 		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
 		IP: "10.0.0.1", Cmd: auditlog.CmdDelete, Src: path,
@@ -502,6 +509,7 @@ func (c *Cluster) Rename(src, dst string) error {
 	delete(c.files, src)
 	f.Path = dst
 	c.files[dst] = f
+	c.pathsCache = nil
 	for _, ids := range [][]BlockID{f.Blocks, f.Parity} {
 		for _, bid := range ids {
 			c.blocks[bid].File = dst

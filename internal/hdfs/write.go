@@ -69,6 +69,7 @@ func (c *Cluster) WriteFile(client topology.NodeID, path string, size float64, r
 		CreatedAt:  c.engine.Now(),
 	}
 	c.files[path] = f
+	c.pathsCache = nil
 	nBlocks := int(size / c.cfg.BlockSize)
 	if float64(nBlocks)*c.cfg.BlockSize < size {
 		nBlocks++

@@ -34,11 +34,12 @@ func (e *Event) Canceled() bool { return e.canceled }
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now     time.Duration
-	queue   eventHeap
-	seq     uint64
-	running bool
-	fired   uint64
+	now      time.Duration
+	queue    eventHeap
+	seq      uint64
+	running  bool
+	fired    uint64
+	canceled int // canceled events still sitting in the queue
 }
 
 // NewEngine returns an Engine with the clock at zero and an empty calendar.
@@ -53,9 +54,9 @@ func (e *Engine) Now() time.Duration { return e.now }
 // for progress reporting).
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events currently scheduled (including
-// canceled events that have not been popped yet).
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of live events currently scheduled. Canceled
+// events waiting to be discarded from the calendar are not counted.
+func (e *Engine) Pending() int { return e.queue.Len() - e.canceled }
 
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero: the event fires at the current time, after all events already
@@ -89,6 +90,9 @@ func (e *Engine) Cancel(ev *Event) {
 	if ev == nil {
 		return
 	}
+	if !ev.canceled && ev.index >= 0 {
+		e.canceled++ // still queued: it no longer counts as pending
+	}
 	ev.canceled = true
 	ev.fn = nil
 }
@@ -99,6 +103,7 @@ func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
+			e.canceled--
 			continue
 		}
 		if ev.at < e.now {
@@ -148,6 +153,7 @@ func (e *Engine) peek() *Event {
 			return ev
 		}
 		heap.Pop(&e.queue)
+		e.canceled--
 	}
 	return nil
 }

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPendingExcludesCanceled pins the Pending fix: canceled events linger
+// in the calendar until popped, but they must not count as pending.
+func TestPendingExcludesCanceled(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	a := e.Schedule(1*time.Second, func() { fired++ })
+	e.Schedule(2*time.Second, func() { fired++ })
+	e.Schedule(3*time.Second, func() { fired++ })
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+
+	e.Cancel(a)
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending after cancel = %d, want 2", got)
+	}
+	// Double-cancel must not double-count.
+	e.Cancel(a)
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending after double cancel = %d, want 2", got)
+	}
+
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", got)
+	}
+}
+
+// TestPendingCancelAfterFire checks that canceling an already-fired event
+// neither underflows the counter nor affects Pending.
+func TestPendingCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1*time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	e.Step() // fires a
+	e.Cancel(a)
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	e.Run()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", got)
+	}
+}
+
+// TestPendingCanceledDiscardedByPeek covers the other discard path: peek
+// (via RunUntil/NextEventTime) drops canceled events from the calendar head
+// and must keep the counter balanced.
+func TestPendingCanceledDiscardedByPeek(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1*time.Second, func() {})
+	e.Schedule(5*time.Second, func() {})
+	e.Cancel(a)
+	if at, ok := e.NextEventTime(); !ok || at != 5*time.Second {
+		t.Fatalf("NextEventTime = %v, %v; want 5s, true", at, ok)
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+}
