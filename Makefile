@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench figures fuzz full-scale examples clean
+.PHONY: all build vet test race check bench figures fuzz full-scale soak examples clean
 
 all: build vet test
 
@@ -19,7 +19,13 @@ race:
 	$(GO) test -race ./...
 
 # The full gate: what CI runs and what a PR must keep green.
-check: build vet test race
+check: build vet test race soak
+
+# Chaos soak: six virtual hours of crashes, partitions, and silent
+# corruption under heartbeat detection, across a 3-seed matrix, with the
+# race detector on. ERMS_SOAK=1 widens the seed matrix.
+soak:
+	ERMS_SOAK=1 $(GO) test -race -run 'TestChaosSoak|TestChaosDeterminism' ./internal/core/
 
 # Records the CEP and judge perf baselines (BENCH_cep.json tracks the
 # trajectory across PRs) and prints every other package's benchmarks.
@@ -27,6 +33,7 @@ bench:
 	$(GO) test -json -bench=. -benchmem -run '^$$' ./internal/cep/ ./internal/core/ > BENCH_cep.json
 	$(GO) test -bench=. -benchmem -run '^$$' ./internal/sim/ ./internal/hdfs/ ./internal/netsim/ \
 		./internal/classad/ ./internal/condor/ ./internal/mapred/ ./internal/workload/
+	$(GO) run ./cmd/figures -fig durability
 
 # Prints every figure/ablation table at quick scale (use FIG=8 for one).
 FIG ?= all

@@ -177,6 +177,10 @@ func report(sys *erms.System, showLog bool) {
 	fmt.Printf("reads: %d completed, %.1f GB read, locality %d/%d/%d (node/rack/remote)\n",
 		cm.ReadsCompleted, cm.BytesRead/erms.GB, cm.NodeLocalReads, cm.RackLocalReads, cm.RemoteReads)
 	fmt.Printf("replication traffic: %.0f MB across %d replica adds\n", cm.ReplicationMB, cm.ReplicasAdded)
+	fmt.Printf("robustness: %d repairs (%d attempts retried), time-to-repair p50/p99 %.1fs/%.1fs\n",
+		st.Repairs, st.RepairsRetried, st.TimeToRepairP50, st.TimeToRepairP99)
+	fmt.Printf("corruption: %d replicas found corrupt, %d blocks restored; stale nodes now: %d\n",
+		st.CorruptFound, st.CorruptFixed, st.StaleNodes)
 	fmt.Printf("storage used: %.1f GB across %d datanodes\n",
 		sys.StorageUsed()/erms.GB, sys.HDFS().NumDatanodes())
 	en := sys.Energy()

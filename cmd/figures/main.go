@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, durability, all")
 	seed := flag.Int64("seed", 1, "workload seed")
 	full := flag.Bool("full", false, "paper-scale runs (slower) instead of quick scale")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the series figures (4, 5)")
@@ -145,6 +145,17 @@ func main() {
 			trials = 20000
 		}
 		fmt.Println(experiments.ReliabilityTable(experiments.Reliability(trials, nil, *seed)))
+	}
+	if want("durability") {
+		ran = true
+		cfg := experiments.DurabilityConfig{Seed: *seed}
+		if *full {
+			cfg.Duration = 6 * time.Hour
+			cfg.Crashes = 12
+			cfg.Partitions = 4
+			cfg.Corruptions = 20
+		}
+		fmt.Println(experiments.DurabilityTable(experiments.Durability(cfg)))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)

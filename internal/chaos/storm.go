@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"sort"
+	"time"
+
+	"erms/internal/hdfs"
+	"erms/internal/sim"
+)
+
+// StormConfig parameterizes a random fault storm. Every field that is a
+// count is a target number of fault *pairs* (a crash comes with its
+// restart, a partition with its heal, a slowdown with its restore), so a
+// storm never leaves permanent damage behind by construction — permanent
+// faults belong in a hand-written Plan.
+type StormConfig struct {
+	// Seed drives all randomness; equal seeds give equal plans.
+	Seed int64
+	// Duration is the window faults are spread over.
+	Duration time.Duration
+	// Nodes are the candidate victims for crashes and slowdowns.
+	Nodes []hdfs.DatanodeID
+	// Racks are the candidate victims for partitions.
+	Racks []int
+
+	// Crashes is the number of crash+restart pairs.
+	Crashes int
+	// Downtime is how long a crashed node stays down before its restart
+	// (jittered ±50%); default 10 minutes.
+	Downtime time.Duration
+	// MaxConcurrentDown bounds how many storm-crashed nodes may be down at
+	// once, so a small cluster is not annihilated; default 2.
+	MaxConcurrentDown int
+
+	// Partitions is the number of partition+heal pairs.
+	Partitions int
+	// PartitionHeal is how long a rack stays cut off (jittered ±50%);
+	// default 2 minutes.
+	PartitionHeal time.Duration
+
+	// Corruptions is the number of silent replica corruptions.
+	Corruptions int
+
+	// SlowNodes is the number of slowdown+restore pairs.
+	SlowNodes int
+	// SlowFactor is the degraded capacity multiplier; default 0.1.
+	SlowFactor float64
+	// SlowFor is how long a node stays degraded (jittered ±50%); default
+	// 5 minutes.
+	SlowFor time.Duration
+}
+
+func (cfg *StormConfig) applyDefaults() {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Hour
+	}
+	if cfg.Downtime <= 0 {
+		cfg.Downtime = 10 * time.Minute
+	}
+	if cfg.MaxConcurrentDown <= 0 {
+		cfg.MaxConcurrentDown = 2
+	}
+	if cfg.PartitionHeal <= 0 {
+		cfg.PartitionHeal = 2 * time.Minute
+	}
+	if cfg.SlowFactor <= 0 || cfg.SlowFactor >= 1 {
+		cfg.SlowFactor = 0.1
+	}
+	if cfg.SlowFor <= 0 {
+		cfg.SlowFor = 5 * time.Minute
+	}
+}
+
+// Storm generates a random fault plan from the config. The plan is a pure
+// function of the config (including Seed): generation draws from one
+// seeded stream in a fixed order, and the result is sorted by time with a
+// stable tie-break, so identical configs yield byte-identical plans.
+func Storm(cfg StormConfig) *Plan {
+	cfg.applyDefaults()
+	rng := sim.NewRand(cfg.Seed)
+	var events []Event
+
+	jitter := func(d time.Duration) time.Duration {
+		// ±50%, strictly positive.
+		return time.Duration(float64(d) * (0.5 + rng.Float64()))
+	}
+	at := func() time.Duration {
+		return time.Duration(rng.Int63n(int64(cfg.Duration)))
+	}
+
+	// Crash+restart pairs, packed greedily under the concurrency bound:
+	// candidate windows are drawn, then accepted only while fewer than
+	// MaxConcurrentDown accepted windows overlap.
+	type window struct{ start, end time.Duration }
+	var accepted []window
+	overlaps := func(w window) int {
+		n := 0
+		for _, o := range accepted {
+			if w.start < o.end && o.start < w.end {
+				n++
+			}
+		}
+		return n
+	}
+	if len(cfg.Nodes) > 0 {
+		placed := 0
+		for tries := 0; placed < cfg.Crashes && tries < cfg.Crashes*20; tries++ {
+			start := at()
+			w := window{start: start, end: start + jitter(cfg.Downtime)}
+			if overlaps(w) >= cfg.MaxConcurrentDown {
+				continue
+			}
+			node := cfg.Nodes[rng.Intn(len(cfg.Nodes))]
+			// One node cannot crash twice while still down: reject windows
+			// overlapping an accepted window only if same node is cheaper
+			// to just re-draw the node; keep it simple and allow it — the
+			// Crash event no-ops (Skipped) on an already-down node.
+			accepted = append(accepted, w)
+			events = append(events,
+				Event{At: w.start, Kind: Crash, Node: node},
+				Event{At: w.end, Kind: Restart, Node: node},
+			)
+			placed++
+		}
+	}
+
+	if len(cfg.Racks) > 0 {
+		for i := 0; i < cfg.Partitions; i++ {
+			start := at()
+			rack := cfg.Racks[rng.Intn(len(cfg.Racks))]
+			events = append(events,
+				Event{At: start, Kind: PartitionRack, Rack: rack},
+				Event{At: start + jitter(cfg.PartitionHeal), Kind: HealRack, Rack: rack},
+			)
+		}
+	}
+
+	for i := 0; i < cfg.Corruptions; i++ {
+		events = append(events, Event{
+			At:             at(),
+			Kind:           CorruptReplica,
+			BlockOrdinal:   rng.Intn(1 << 20),
+			ReplicaOrdinal: rng.Intn(1 << 10),
+		})
+	}
+
+	if len(cfg.Nodes) > 0 {
+		for i := 0; i < cfg.SlowNodes; i++ {
+			start := at()
+			node := cfg.Nodes[rng.Intn(len(cfg.Nodes))]
+			events = append(events,
+				Event{At: start, Kind: SlowNode, Node: node, Factor: cfg.SlowFactor},
+				Event{At: start + jitter(cfg.SlowFor), Kind: RestoreNode, Node: node},
+			)
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return &Plan{Events: events}
+}

@@ -80,6 +80,14 @@ type Job struct {
 	Run func(m *Machine, done func(error))
 	// Rollback undoes a failed job's partial effects.
 	Rollback func()
+	// Retry governs re-execution after failure or hang; the zero value
+	// means one attempt, no timeout (the original semantics).
+	Retry RetryPolicy
+	// Notify, if set, fires once when the job reaches a terminal state
+	// (Completed, Failed, RolledBack, or Aborted) — after rollback and
+	// logging. Unlike wrapping Run's done, it also observes jobs whose
+	// last attempt was reclaimed by the timeout watchdog.
+	Notify func(j *Job)
 
 	State      State
 	SubmitTime time.Duration
@@ -87,6 +95,8 @@ type Job struct {
 	EndTime    time.Duration
 	Err        error
 	MachineID  string
+	// Attempt counts executions started so far (1 on the first run).
+	Attempt int
 }
 
 // Machine is an execution target advertised to the scheduler.
@@ -112,6 +122,11 @@ const (
 	EventFail      EventKind = "fail"
 	EventRollback  EventKind = "rollback"
 	EventAbort     EventKind = "abort"
+	// EventRetry records a failed attempt that will be re-executed after a
+	// backoff; EventFail is only logged when attempts are exhausted.
+	EventRetry EventKind = "retry"
+	// EventTimeout records an attempt reclaimed by the hung-job watchdog.
+	EventTimeout EventKind = "timeout"
 )
 
 // LogEvent is one user log record.
@@ -134,12 +149,13 @@ type Scheduler struct {
 	machines  map[string]*Machine
 	order     []string // machine registration order, for determinism
 	queue     []*Job
+	byID      map[int]*Job
 	running   int
 	nextID    int
 	idleProbe func() bool
 	log       []LogEvent
 	ticker    *sim.Ticker
-	kick      *sim.Event
+	kick      bool // a same-instant negotiation is already scheduled
 }
 
 // Config tunes the scheduler.
@@ -163,6 +179,7 @@ func New(engine *sim.Engine, cfg Config) *Scheduler {
 	s := &Scheduler{
 		engine:    engine,
 		machines:  make(map[string]*Machine),
+		byID:      make(map[int]*Job),
 		idleProbe: cfg.IdleProbe,
 	}
 	s.ticker = sim.NewTicker(engine, cfg.NegotiationPeriod, func(time.Duration) {
@@ -222,6 +239,7 @@ func (s *Scheduler) Submit(j *Job) *Job {
 	j.ID = s.nextID
 	j.State = StatePending
 	j.SubmitTime = s.engine.Now()
+	s.byID[j.ID] = j
 	s.queue = append(s.queue, j)
 	s.logEvent(j, EventSubmit, j.Class.String())
 	if j.Class == ClassImmediate {
@@ -239,16 +257,28 @@ func (s *Scheduler) Abort(j *Job) bool {
 	j.State = StateAborted
 	j.EndTime = s.engine.Now()
 	s.logEvent(j, EventAbort, "")
+	s.notify(j)
 	return true
+}
+
+// notify invokes the job's terminal-state callback, if any.
+func (s *Scheduler) notify(j *Job) {
+	if j.Notify != nil {
+		j.Notify(j)
+	}
 }
 
 // kickSoon schedules a negotiation at the current instant (coalescing
 // multiple submissions in the same event).
 func (s *Scheduler) kickSoon() {
-	if s.kick != nil && !s.kick.Canceled() && s.kick.Time() <= s.engine.Now() {
+	if s.kick {
 		return
 	}
-	s.kick = s.engine.Schedule(0, s.negotiate)
+	s.kick = true
+	s.engine.Schedule(0, func() {
+		s.kick = false
+		s.negotiate()
+	})
 }
 
 // negotiate matches pending jobs to machines: immediate class first, FIFO
@@ -313,52 +343,127 @@ func (s *Scheduler) bestMachine(j *Job) *Machine {
 	return best
 }
 
+// start launches one attempt of j on m. The done closure and the hung-job
+// watchdog are per-attempt: after a timeout reclaims the machine, a
+// straggling completion from the abandoned attempt is ignored rather than
+// corrupting slot accounting (but a double-done within a live attempt
+// still panics — that is a modeling bug).
 func (s *Scheduler) start(j *Job, m *Machine) {
 	j.State = StateRunning
 	j.StartTime = s.engine.Now()
 	j.MachineID = m.Name
+	j.Attempt++
 	m.busy++
 	s.running++
-	s.logEvent(j, EventExecute, "on "+m.Name)
+	detail := "on " + m.Name
+	if j.Attempt > 1 {
+		detail = fmt.Sprintf("on %s (attempt %d)", m.Name, j.Attempt)
+	}
+	s.logEvent(j, EventExecute, detail)
 	finished := false
+	timedOut := false
+	var watchdog *sim.Event
+	reclaim := func() {
+		m.busy--
+		s.running--
+		if watchdog != nil {
+			s.engine.Cancel(watchdog)
+			watchdog = nil
+		}
+	}
 	done := func(err error) {
+		if timedOut {
+			return // attempt already reclaimed by the watchdog
+		}
 		if finished {
 			panic(fmt.Sprintf("condor: job %d completed twice", j.ID))
 		}
 		finished = true
-		m.busy--
-		s.running--
-		j.EndTime = s.engine.Now()
+		reclaim()
 		if err == nil {
+			j.EndTime = s.engine.Now()
 			j.State = StateCompleted
 			s.logEvent(j, EventTerminate, "ok")
-		} else {
-			j.Err = err
-			j.State = StateFailed
-			s.logEvent(j, EventFail, err.Error())
-			if j.Rollback != nil {
-				j.Rollback()
-				j.State = StateRolledBack
-				s.logEvent(j, EventRollback, "")
-			}
+			s.notify(j)
+			s.kickSoon()
+			return
 		}
-		s.kickSoon()
+		s.afterFailure(j, err)
+	}
+	if t := j.Retry.Timeout; t > 0 {
+		watchdog = s.engine.Schedule(t, func() {
+			if finished {
+				return
+			}
+			timedOut = true
+			watchdog = nil
+			reclaim()
+			s.logEvent(j, EventTimeout, fmt.Sprintf("after %s on %s", t, m.Name))
+			s.afterFailure(j, fmt.Errorf("condor: job %d hung for %s on %s", j.ID, t, m.Name))
+		})
 	}
 	j.Run(m, done)
+}
+
+// afterFailure routes a failed or timed-out attempt: schedule a retry with
+// exponential backoff while attempts remain, otherwise declare the job
+// failed and run its rollback.
+func (s *Scheduler) afterFailure(j *Job, err error) {
+	j.Err = err
+	if j.Attempt < j.Retry.attempts() {
+		backoff := j.Retry.backoffFor(j.Attempt)
+		j.State = StatePending
+		s.logEvent(j, EventRetry,
+			fmt.Sprintf("attempt %d failed (%v); retry in %s", j.Attempt, err, backoff))
+		s.engine.Schedule(backoff, func() {
+			if j.State != StatePending {
+				return // aborted while backing off
+			}
+			s.queue = append(s.queue, j)
+			if j.Class == ClassImmediate {
+				s.kickSoon()
+			}
+		})
+		return
+	}
+	j.EndTime = s.engine.Now()
+	j.State = StateFailed
+	s.logEvent(j, EventFail, err.Error())
+	if j.Rollback != nil {
+		j.Rollback()
+		j.State = StateRolledBack
+		s.logEvent(j, EventRollback, "")
+	}
+	s.notify(j)
+	s.kickSoon()
 }
 
 // Running returns the number of jobs currently executing.
 func (s *Scheduler) Running() int { return s.running }
 
-// Pending returns the number of queued jobs.
+// Pending returns the number of jobs awaiting execution — queued for the
+// negotiator or sitting out a retry backoff.
 func (s *Scheduler) Pending() int {
 	n := 0
-	for _, j := range s.queue {
+	for _, j := range s.byID {
 		if j.State == StatePending {
 			n++
 		}
 	}
 	return n
+}
+
+// Job returns the job with the given ID, or nil.
+func (s *Scheduler) Job(id int) *Job { return s.byID[id] }
+
+// Jobs returns every submitted job in ID order.
+func (s *Scheduler) Jobs() []*Job {
+	out := make([]*Job, 0, len(s.byID))
+	for _, j := range s.byID {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
 }
 
 func (s *Scheduler) logEvent(j *Job, kind EventKind, detail string) {
@@ -378,9 +483,12 @@ func (s *Scheduler) Replay(fn func(LogEvent)) {
 	}
 }
 
-// Stats summarizes job outcomes from the user log.
+// Stats summarizes job outcomes from the user log. Retried and TimedOut
+// count attempts, not jobs; Failed counts only final failures (attempts
+// exhausted).
 type Stats struct {
 	Submitted, Completed, Failed, RolledBack, Aborted int
+	Retried, TimedOut                                 int
 }
 
 // Stats computes outcome counts from the log.
@@ -398,6 +506,10 @@ func (s *Scheduler) Stats() Stats {
 			st.RolledBack++
 		case EventAbort:
 			st.Aborted++
+		case EventRetry:
+			st.Retried++
+		case EventTimeout:
+			st.TimedOut++
 		}
 	}
 	return st

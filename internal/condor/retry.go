@@ -1,0 +1,78 @@
+package condor
+
+import "time"
+
+// RetryPolicy governs re-execution of failed or hung jobs, mirroring
+// Condor's `on_exit_remove = false` + periodic-release idiom: a failed
+// attempt goes back to the queue after an exponentially growing hold, and
+// a hung attempt is reclaimed by a watchdog so the machine slot is not
+// leaked. The zero value preserves the original semantics: one attempt,
+// no timeout.
+type RetryPolicy struct {
+	// MaxAttempts bounds total executions (first run included); 0 and 1
+	// both mean "no retry".
+	MaxAttempts int
+	// Backoff is the delay before the first retry; each subsequent retry
+	// doubles it. 0 means retry at the next instant.
+	Backoff time.Duration
+	// MaxBackoff caps the doubled delay; 0 means uncapped.
+	MaxBackoff time.Duration
+	// Timeout reclaims an attempt that has neither completed nor failed
+	// after this long; 0 disables the watchdog.
+	Timeout time.Duration
+}
+
+// attempts returns the effective attempt bound (at least 1).
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoffFor returns the delay after the given failed attempt (1-based):
+// Backoff doubled per prior failure, capped at MaxBackoff.
+func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+	b := p.Backoff
+	if b <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt; i++ {
+		b *= 2
+		if p.MaxBackoff > 0 && b >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && b > p.MaxBackoff {
+		b = p.MaxBackoff
+	}
+	return b
+}
+
+// ReconstructStates replays a user log and returns each job's final state
+// — the paper's "we can replay all operations and analyze them" applied
+// to crash recovery: the log alone is enough to rebuild the queue's view
+// of every job, retries and timeouts included.
+func ReconstructStates(events []LogEvent) map[int]State {
+	states := make(map[int]State)
+	for _, e := range events {
+		switch e.Kind {
+		case EventSubmit, EventRetry:
+			states[e.JobID] = StatePending
+		case EventExecute:
+			states[e.JobID] = StateRunning
+		case EventTerminate:
+			states[e.JobID] = StateCompleted
+		case EventTimeout:
+			// The attempt was reclaimed; the next event (retry or fail)
+			// decides the job's fate.
+		case EventFail:
+			states[e.JobID] = StateFailed
+		case EventRollback:
+			states[e.JobID] = StateRolledBack
+		case EventAbort:
+			states[e.JobID] = StateAborted
+		}
+	}
+	return states
+}

@@ -7,6 +7,7 @@ import (
 	"erms/internal/classad"
 	"erms/internal/condor"
 	"erms/internal/hdfs"
+	"erms/internal/metrics"
 	"erms/internal/sim"
 	"erms/internal/topology"
 )
@@ -25,6 +26,18 @@ type Config struct {
 	// DisableAutoCommission keeps standby nodes down even when hot data
 	// needs homes (used by ablation experiments).
 	DisableAutoCommission bool
+	// RepairRetry governs re-execution of failed or hung repair jobs. The
+	// zero value gets production-ish defaults (6 attempts, 15s backoff
+	// doubling to 4m, 15m hang timeout); set MaxAttempts to 1 explicitly
+	// for no retry.
+	RepairRetry condor.RetryPolicy
+	// RepairRescanDelay is how long after a repair finally fails before
+	// the damage sweep re-arms (the cluster may have healed — a restarted
+	// node, a lifted partition — making the retry worthwhile). Default 30s.
+	RepairRescanDelay time.Duration
+	// Scrub, when Period > 0, starts the cluster's background corruption
+	// scrubber alongside the manager.
+	Scrub hdfs.ScrubConfig
 }
 
 // Stats counts manager activity.
@@ -38,6 +51,19 @@ type Stats struct {
 	Shutdowns   int
 	Repairs     int
 	FailedJobs  int
+	// RepairsRetried counts repair attempts beyond each job's first.
+	RepairsRetried int
+	// CorruptFound / CorruptFixed count corrupt replicas detected by the
+	// cluster (scrubber, read checksums, rejoin reconciliation) and the
+	// ones whose blocks a repair job subsequently restored.
+	CorruptFound int
+	CorruptFixed int
+	// StaleNodes is the number of datanodes currently past StaleTimeout.
+	StaleNodes int
+	// TimeToRepair* are quantiles, in seconds of virtual time, of
+	// damage-detected → block-healthy intervals.
+	TimeToRepairP50 float64
+	TimeToRepairP99 float64
 }
 
 // Manager is ERMS: it owns the judge, the Condor scheduler, the placement
@@ -51,9 +77,18 @@ type Manager struct {
 	pool      map[hdfs.DatanodeID]bool
 	inFlight  map[string]bool // path -> management job outstanding
 	repairing map[hdfs.BlockID]bool
-	history   []Decision
-	stats     Stats
-	ticker    interface{ Stop() }
+	// repairStart records when damage to a block was first scheduled for
+	// repair, for time-to-repair accounting across retries.
+	repairStart map[hdfs.BlockID]time.Duration
+	// corruptPending marks blocks whose damage came from a detected
+	// corrupt replica, so their eventual repair counts as CorruptFixed.
+	corruptPending map[hdfs.BlockID]bool
+	ttr            metrics.Sample
+	rescanArmed    bool
+	scrubStop      func()
+	history        []Decision
+	stats          Stats
+	ticker         interface{ Stop() }
 }
 
 // New attaches ERMS to a cluster. It installs the Algorithm 1 placement
@@ -64,12 +99,25 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 	if cfg.JudgePeriod <= 0 {
 		cfg.JudgePeriod = cfg.Thresholds.Window
 	}
+	if cfg.RepairRetry == (condor.RetryPolicy{}) {
+		cfg.RepairRetry = condor.RetryPolicy{
+			MaxAttempts: 6,
+			Backoff:     15 * time.Second,
+			MaxBackoff:  4 * time.Minute,
+			Timeout:     15 * time.Minute,
+		}
+	}
+	if cfg.RepairRescanDelay <= 0 {
+		cfg.RepairRescanDelay = 30 * time.Second
+	}
 	m := &Manager{
-		cluster:   cluster,
-		cfg:       cfg,
-		pool:      map[hdfs.DatanodeID]bool{},
-		inFlight:  map[string]bool{},
-		repairing: map[hdfs.BlockID]bool{},
+		cluster:        cluster,
+		cfg:            cfg,
+		pool:           map[hdfs.DatanodeID]bool{},
+		inFlight:       map[string]bool{},
+		repairing:      map[hdfs.BlockID]bool{},
+		repairStart:    map[hdfs.BlockID]time.Duration{},
+		corruptPending: map[hdfs.BlockID]bool{},
 	}
 	if len(cfg.StandbyPool) > 0 {
 		for _, id := range cfg.StandbyPool {
@@ -101,7 +149,38 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 	// plain blocks are re-replicated — ERMS routes the recovery work
 	// through Condor so it is logged and replayable like everything else.
 	cluster.OnDatanodeDown(func(hdfs.DatanodeID) { m.scheduleRepairs() })
+	// A node coming (back) up changes both matchmaking and repair
+	// feasibility: refresh its ad and re-sweep for blocks whose earlier
+	// repairs found no target or source.
+	cluster.OnDatanodeUp(func(hdfs.DatanodeID) {
+		m.refreshAds()
+		m.scheduleRepairs()
+	})
+	// Detected corruption quarantines a replica; route the re-replication
+	// through the same Condor repair path and tag it for CorruptFixed.
+	cluster.OnCorruptReplica(func(bid hdfs.BlockID, _ hdfs.DatanodeID) {
+		m.stats.CorruptFound++
+		m.corruptPending[bid] = true
+		m.scheduleRepairs()
+	})
+	if cfg.Scrub.Period > 0 {
+		m.scrubStop = cluster.StartScrubber(cfg.Scrub)
+	}
 	return m
+}
+
+// armRepairRescan schedules a single delayed damage sweep (coalescing
+// multiple failures), so finally-failed repairs are re-attempted once the
+// cluster has had a chance to heal.
+func (m *Manager) armRepairRescan() {
+	if m.rescanArmed {
+		return
+	}
+	m.rescanArmed = true
+	m.cluster.Engine().Schedule(m.cfg.RepairRescanDelay, func() {
+		m.rescanArmed = false
+		m.scheduleRepairs()
+	})
 }
 
 // scheduleRepairs submits recovery jobs for every damaged block.
@@ -123,19 +202,22 @@ func (m *Manager) scheduleRepairs() {
 		}
 		m.repairing[bid] = true
 		m.stats.Repairs++
-		m.sched.Submit(&condor.Job{
+		if _, ok := m.repairStart[bid]; !ok {
+			m.repairStart[bid] = m.cluster.Engine().Now()
+		}
+		var job *condor.Job
+		job = &condor.Job{
 			Name:  fmt.Sprintf("repair:%s:block%d", b.File, bid),
 			Class: condor.ClassImmediate,
+			Retry: m.cfg.RepairRetry,
 			Run: func(_ *condor.Machine, done func(error)) {
-				finish := func(err error) {
-					delete(m.repairing, bid)
-					if err != nil {
-						m.stats.FailedJobs++
-					}
-					done(err)
+				if job.Attempt > 1 {
+					m.stats.RepairsRetried++
 				}
-				if lost {
-					m.cluster.ReconstructBlock(bid, finish)
+				// Re-read the damage each attempt: a retry may find the
+				// block already healed (restarted node) or newly lost.
+				if lost || len(m.cluster.Replicas(bid)) == 0 {
+					m.cluster.ReconstructBlock(bid, done)
 					return
 				}
 				// Top the block back up to its target in one job.
@@ -145,12 +227,12 @@ func (m *Manager) scheduleRepairs() {
 					need = f2.TargetRepl - len(m.cluster.Replicas(bid))
 				}
 				if need <= 0 {
-					finish(nil)
+					done(nil)
 					return
 				}
 				targets := m.cluster.PlacementPolicy().ChooseTargets(m.cluster, b, need, -1, nil)
 				if len(targets) == 0 {
-					finish(fmt.Errorf("erms: no repair target for block %d", bid))
+					done(fmt.Errorf("erms: no repair target for block %d", bid))
 					return
 				}
 				remaining := len(targets)
@@ -162,12 +244,35 @@ func (m *Manager) scheduleRepairs() {
 						}
 						remaining--
 						if remaining == 0 {
-							finish(firstErr)
+							done(firstErr)
 						}
 					})
 				}
 			},
-		})
+			// Notify (not done) observes terminal resolution, so timeout
+			// reclaims are bookkept too and repairing[bid] stays held
+			// across retry backoffs (no duplicate repair submissions).
+			Notify: func(j *condor.Job) {
+				delete(m.repairing, bid)
+				if j.State == condor.StateCompleted {
+					if start, ok := m.repairStart[bid]; ok {
+						m.ttr.Add((m.cluster.Engine().Now() - start).Seconds())
+						delete(m.repairStart, bid)
+					}
+					if m.corruptPending[bid] {
+						m.stats.CorruptFixed++
+						delete(m.corruptPending, bid)
+					}
+					return
+				}
+				m.stats.FailedJobs++
+				delete(m.repairStart, bid)
+				// The block is still damaged; re-arm the sweep so a later
+				// pass retries fresh once the cluster may have healed.
+				m.armRepairRescan()
+			},
+		}
+		m.sched.Submit(job)
 	}
 }
 
@@ -197,8 +302,15 @@ func (m *Manager) Judge() *Judge { return m.judge }
 // management task for replay).
 func (m *Manager) Scheduler() *condor.Scheduler { return m.sched }
 
-// Stats returns activity counters.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns activity counters, with the derived fields (stale-node
+// count, time-to-repair quantiles) computed as of now.
+func (m *Manager) Stats() Stats {
+	st := m.stats
+	st.StaleNodes = len(m.cluster.StaleNodes())
+	st.TimeToRepairP50 = m.ttr.Quantile(0.50)
+	st.TimeToRepairP99 = m.ttr.Quantile(0.99)
+	return st
+}
 
 // History returns every decision acted upon.
 func (m *Manager) History() []Decision { return m.history }
@@ -206,10 +318,14 @@ func (m *Manager) History() []Decision { return m.history }
 // InStandbyPool reports pool membership.
 func (m *Manager) InStandbyPool(id hdfs.DatanodeID) bool { return m.pool[id] }
 
-// Stop halts the judging ticker and the Condor negotiator.
+// Stop halts the judging ticker, the Condor negotiator, and the
+// corruption scrubber (when one was started).
 func (m *Manager) Stop() {
 	m.ticker.Stop()
 	m.sched.Stop()
+	if m.scrubStop != nil {
+		m.scrubStop()
+	}
 }
 
 // RunJudgeOnce evaluates the judge and schedules jobs for its decisions.
@@ -278,6 +394,9 @@ func (m *Manager) act(d Decision) {
 			Run: func(_ *condor.Machine, done func(error)) {
 				m.cluster.EncodeFile(path, k, mParity, done)
 			},
+			// A failed or hung encode may leave partial parity behind;
+			// rolling back drops it and restores plain replication.
+			Rollback: func() { _ = m.cluster.CancelEncoding(path) },
 		}
 	case ActionDecode:
 		m.stats.Decodes++
@@ -290,16 +409,21 @@ func (m *Manager) act(d Decision) {
 		}
 	}
 	m.inFlight[path] = true
-	userDone := job.Run
-	job.Run = func(mach *condor.Machine, done func(error)) {
-		userDone(mach, func(err error) {
-			delete(m.inFlight, path)
-			if err != nil {
-				m.stats.FailedJobs++
-			}
-			m.afterJob(d)
-			done(err)
-		})
+	// Management jobs get a modest retry budget (transient failures —
+	// mid-transfer node deaths, momentary target shortages — heal on their
+	// own); terminal bookkeeping rides on Notify so inFlight is held
+	// across retry backoffs and released even on watchdog timeouts.
+	job.Retry = condor.RetryPolicy{
+		MaxAttempts: 3,
+		Backoff:     10 * time.Second,
+		MaxBackoff:  time.Minute,
+	}
+	job.Notify = func(j *condor.Job) {
+		delete(m.inFlight, path)
+		if j.State != condor.StateCompleted {
+			m.stats.FailedJobs++
+		}
+		m.afterJob(d)
 	}
 	m.sched.Submit(job)
 }

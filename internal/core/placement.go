@@ -92,7 +92,7 @@ func (p *Placement) extraTargets(c *hdfs.Cluster, b *hdfs.Block, count int, excl
 		rackCount[c.Topology().Rack(topology.NodeID(r))]++
 	}
 	for _, d := range c.Datanodes() {
-		if d.State != hdfs.StateActive || holder[d.ID] || exclude[d.ID] || d.UncommittedFree() < b.Size {
+		if !d.Eligible() || c.NodeUnreachable(d.ID) || holder[d.ID] || exclude[d.ID] || d.UncommittedFree() < b.Size {
 			continue
 		}
 		rack := c.Topology().Rack(topology.NodeID(d.ID))
@@ -164,7 +164,7 @@ func (p *Placement) parityTargets(c *hdfs.Cluster, b *hdfs.Block, count int, exc
 	}
 	var cands []cand
 	for _, d := range c.Datanodes() {
-		if d.State != hdfs.StateActive || exclude[d.ID] || d.UncommittedFree() < b.Size ||
+		if !d.Eligible() || c.NodeUnreachable(d.ID) || exclude[d.ID] || d.UncommittedFree() < b.Size ||
 			d.HasBlock(b.ID) || p.pool(d.ID) {
 			continue
 		}
@@ -221,7 +221,7 @@ func (p *Placement) ChooseKeeper(c *hdfs.Cluster, b *hdfs.Block, stripeLoad map[
 	bestKey := [4]int{1 << 30, 1 << 30, 1 << 30, 1 << 30}
 	for _, r := range c.Replicas(b.ID) {
 		d := c.Datanode(r)
-		if d.State == hdfs.StateDown {
+		if d.State == hdfs.StateDown || d.Crashed() || d.CorruptBlock(b.ID) {
 			continue
 		}
 		poolPenalty := 0

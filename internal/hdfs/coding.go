@@ -107,7 +107,7 @@ func (c *Cluster) writeParity(stripe []BlockID, pb *Block, target DatanodeID, do
 	}
 	for _, bid := range stripe {
 		b := c.blocks[bid]
-		src, ok := c.chooseSource(bid, target)
+		src, ok := c.chooseSource(bid, target, true)
 		if !ok {
 			remaining--
 			if firstErr == nil {
@@ -124,7 +124,7 @@ func (c *Cluster) writeParity(stripe []BlockID, pb *Block, target DatanodeID, do
 				c.commitParity(pb, target, firstErr, done)
 			}
 		})
-		sd.activeFlows[flow] = func() {
+		sd.activeFlows[flow] = &flowHandle{peer: topology.NodeID(target), abort: func() {
 			remaining--
 			if firstErr == nil {
 				firstErr = fmt.Errorf("hdfs: source died during encode of %q", pb.File)
@@ -132,7 +132,7 @@ func (c *Cluster) writeParity(stripe []BlockID, pb *Block, target DatanodeID, do
 			if remaining == 0 {
 				c.commitParity(pb, target, firstErr, done)
 			}
-		}
+		}}
 	}
 	if remaining == 0 {
 		c.finish(done, firstErr)
@@ -145,7 +145,7 @@ func (c *Cluster) commitParity(pb *Block, target DatanodeID, err error, done fun
 		return
 	}
 	td := c.datanodes[target]
-	if td.State == StateDown {
+	if td.State == StateDown || td.crashed {
 		c.finish(done, fmt.Errorf("hdfs: parity target %s died", td.Name))
 		return
 	}
@@ -234,7 +234,7 @@ func (c *Cluster) defaultKeeper(b *Block, stripeLoad map[DatanodeID]int) (Datano
 	bestKey := [3]int{1 << 30, 1 << 30, 1 << 30}
 	for _, r := range c.replicas[b.ID] {
 		d := c.datanodes[r]
-		if d.State == StateDown {
+		if d.State == StateDown || d.crashed || d.corrupt[b.ID] {
 			continue
 		}
 		key := [3]int{stripeLoad[r], d.PlacementLoad(), int(r)}
@@ -246,7 +246,8 @@ func (c *Cluster) defaultKeeper(b *Block, stripeLoad map[DatanodeID]int) (Datano
 }
 
 // stripeOf returns the data and parity block IDs of the stripe containing
-// data block bid, plus k (data blocks in this stripe).
+// block bid (data or parity). Parity blocks carry their stripe in Group;
+// data blocks derive it from their index.
 func (c *Cluster) stripeOf(f *INode, bid BlockID) (data, parity []BlockID, ok bool) {
 	b := c.blocks[bid]
 	if b == nil {
@@ -256,10 +257,16 @@ func (c *Cluster) stripeOf(f *INode, bid BlockID) (data, parity []BlockID, ok bo
 		return nil, nil, false
 	}
 	k := f.EncodeK
-	group := b.Index / k
+	group := b.Group
+	if !b.Parity {
+		group = b.Index / k
+	}
 	lo, hi := group*k, (group+1)*k
 	if hi > len(f.Blocks) {
 		hi = len(f.Blocks)
+	}
+	if lo >= hi {
+		return nil, nil, false
 	}
 	data = f.Blocks[lo:hi]
 	for _, pid := range f.Parity {
@@ -293,14 +300,15 @@ func (c *Cluster) ReconstructBlock(bid BlockID, done func(error)) {
 		c.finish(done, fmt.Errorf("hdfs: no stripe for block %d", bid))
 		return
 	}
-	// Need k live members of the stripe (any mix of data+parity).
+	// Need k live members of the stripe (any mix of data+parity), each
+	// with at least one clean, servable replica.
 	k := len(data)
 	var sources []BlockID
 	for _, cand := range append(append([]BlockID{}, data...), parity...) {
 		if cand == bid {
 			continue
 		}
-		if len(c.replicas[cand]) > 0 {
+		if c.hasCleanReplica(cand) {
 			sources = append(sources, cand)
 		}
 		if len(sources) == k {
@@ -323,7 +331,7 @@ func (c *Cluster) ReconstructBlock(bid BlockID, done func(error)) {
 	var firstErr error
 	for _, sid := range sources {
 		sb := c.blocks[sid]
-		src, ok := c.chooseSource(sid, target)
+		src, ok := c.chooseSource(sid, target, true)
 		if !ok {
 			remaining--
 			if firstErr == nil {
@@ -340,7 +348,7 @@ func (c *Cluster) ReconstructBlock(bid BlockID, done func(error)) {
 				c.commitRebuild(b, target, firstErr, done)
 			}
 		})
-		sd.activeFlows[flow] = func() {
+		sd.activeFlows[flow] = &flowHandle{peer: topology.NodeID(target), abort: func() {
 			remaining--
 			if firstErr == nil {
 				firstErr = fmt.Errorf("hdfs: source died during rebuild")
@@ -348,7 +356,7 @@ func (c *Cluster) ReconstructBlock(bid BlockID, done func(error)) {
 			if remaining == 0 {
 				c.commitRebuild(b, target, firstErr, done)
 			}
-		}
+		}}
 	}
 	if remaining == 0 {
 		c.finish(done, firstErr)
@@ -361,7 +369,7 @@ func (c *Cluster) commitRebuild(b *Block, target DatanodeID, err error, done fun
 		return
 	}
 	td := c.datanodes[target]
-	if td.State == StateDown || td.UncommittedFree() < b.Size {
+	if td.State == StateDown || td.crashed || td.UncommittedFree() < b.Size {
 		c.finish(done, fmt.Errorf("hdfs: rebuild target %s unusable", td.Name))
 		return
 	}
@@ -371,6 +379,42 @@ func (c *Cluster) commitRebuild(b *Block, target DatanodeID, err error, done fun
 			c.metrics.BlocksRebuilt++
 			c.finish(done, nil)
 		})
+}
+
+// hasCleanReplica reports whether at least one replica of the block is on
+// a live, non-crashed node and not flagged corrupt.
+func (c *Cluster) hasCleanReplica(id BlockID) bool {
+	for _, dn := range c.replicas[id] {
+		d := c.datanodes[dn]
+		if d.State != StateDown && !d.crashed && !d.corrupt[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// CancelEncoding rolls back a failed, partial encode: parity blocks are
+// dropped and the stripe geometry cleared, leaving the file plain. It is
+// a no-op on files whose encode completed (Encoded is set).
+func (c *Cluster) CancelEncoding(path string) error {
+	f := c.files[path]
+	if f == nil {
+		return fmt.Errorf("hdfs: no such file %q", path)
+	}
+	if f.Encoded {
+		return fmt.Errorf("hdfs: %q is fully encoded; use DecodeFile", path)
+	}
+	for _, pid := range f.Parity {
+		pb := c.blocks[pid]
+		for _, dn := range append([]DatanodeID(nil), c.replicas[pid]...) {
+			c.detachReplica(pb, dn)
+		}
+		delete(c.blocks, pid)
+		delete(c.replicas, pid)
+	}
+	f.Parity = nil
+	f.EncodeK, f.EncodeM = 0, 0
+	return nil
 }
 
 // DecodeFile restores an encoded file to plain replication n: every block

@@ -111,12 +111,40 @@ type Datanode struct {
 	waiting      []*pendingSession
 	blocks       map[BlockID]bool
 	// activeFlows tracks flows being served *from* this node so they can be
-	// killed with it.
-	activeFlows map[*netsim.Flow]func() // flow -> abort handler
+	// killed with it (or with the network path to their peer).
+	activeFlows map[*netsim.Flow]*flowHandle
 	// activeUptime accumulates time spent non-standby, for energy
 	// accounting.
 	activeSince time.Duration
 	ActiveTime  time.Duration
+
+	// Stale marks a node that has missed heartbeats for StaleTimeout:
+	// reads deprioritize it and writes exclude it, but its replicas still
+	// count as live (HDFS stale-node semantics). Cleared when heartbeats
+	// resume or the node is declared dead.
+	Stale bool
+	// crashed means the node's process is gone but, under the heartbeat
+	// model, the namenode has not noticed yet. With heartbeats disabled
+	// death is declared instantly and crashed is never observable.
+	crashed bool
+	// lastHeartbeat is the virtual time of the last heartbeat the
+	// namenode received from this node.
+	lastHeartbeat time.Duration
+	// corrupt flags replicas whose on-disk bytes have rotted; invisible
+	// until a read checksum fails or the scrubber verifies the block.
+	corrupt map[BlockID]bool
+	// reported tracks corrupt replicas already surfaced once but kept
+	// because they are the block's last copy.
+	reported map[BlockID]bool
+}
+
+// flowHandle is the per-flow record a datanode keeps for transfers it
+// serves: how to abort the transfer, and the other endpoint (for cutting
+// flows that cross a fresh rack partition). peer < 0 means an external
+// client.
+type flowHandle struct {
+	abort func()
+	peer  topology.NodeID
 }
 
 type pendingSession struct {
@@ -165,6 +193,26 @@ func (d *Datanode) OpenActiveInterval(now time.Duration) time.Duration {
 	return now - d.activeSince
 }
 
+// Crashed reports whether the node's process is dead but the namenode has
+// not yet declared it (heartbeat mode only).
+func (d *Datanode) Crashed() bool { return d.crashed }
+
+// Eligible reports whether the node can receive new replicas: active, not
+// stale, and (as far as the namenode knows) alive.
+func (d *Datanode) Eligible() bool {
+	return d.State == StateActive && !d.Stale && !d.crashed
+}
+
+// canServe reports whether the node answers reads right now: its state
+// serves and its process is actually up.
+func (d *Datanode) canServe() bool { return d.State.serves() && !d.crashed }
+
+// CorruptBlock reports whether this node's replica of b is flagged corrupt.
+func (d *Datanode) CorruptBlock(b BlockID) bool { return d.corrupt[b] }
+
+// NumCorrupt returns the number of corrupt replicas currently on the node.
+func (d *Datanode) NumCorrupt() int { return len(d.corrupt) }
+
 // Config sizes the simulated HDFS cluster.
 type Config struct {
 	Topology *topology.Topology // required
@@ -188,9 +236,14 @@ type Config struct {
 	StandbyNodes []DatanodeID
 	// KeepAuditRecords retains audit records in memory (tests/trace export).
 	KeepAuditRecords bool
+	// Heartbeat enables the heartbeat failure detector. When disabled
+	// (default), Kill notifies the manager instantly — the pre-heartbeat
+	// behaviour most unit tests rely on.
+	Heartbeat HeartbeatConfig
 }
 
 func (c *Config) applyDefaults() {
+	c.Heartbeat.applyDefaults()
 	if c.BlockSize <= 0 {
 		c.BlockSize = 64 * topology.MB
 	}
@@ -223,6 +276,12 @@ type Metrics struct {
 	ReplicationMB   float64 // bytes moved by replication, in MB
 	FilesEncoded    int
 	BlocksRebuilt   int
+	// Failure-model counters (heartbeat + scrubber).
+	StaleTransitions int     // nodes that crossed the stale threshold
+	ReplicasScrubbed int     // replicas the background scrubber verified
+	CorruptDetected  int     // corrupt replicas surfaced (scrub or read)
+	ChecksumFailures int     // client reads that hit a corrupt replica
+	CorruptBytes     float64 // bytes of corrupt replicas quarantined
 }
 
 // BlockReadEvent describes one served block read; ERMS feeds these into the
@@ -253,9 +312,16 @@ type Cluster struct {
 	audit     *auditlog.Log
 	metrics   Metrics
 
+	// partitioned racks are cut off from the rest of the cluster (and
+	// from external clients); intra-rack traffic still works.
+	partitioned map[int]bool
+	scrubCursor int
+
 	activeReads int
 	onBlockRead []func(BlockReadEvent)
 	onDeadNode  []func(DatanodeID)
+	onNodeUp    []func(DatanodeID)
+	onCorrupt   []func(BlockID, DatanodeID)
 }
 
 // New builds a cluster with one datanode per topology node.
@@ -265,14 +331,15 @@ func New(engine *sim.Engine, cfg Config) *Cluster {
 	}
 	cfg.applyDefaults()
 	c := &Cluster{
-		engine:   engine,
-		topo:     cfg.Topology,
-		fabric:   netsim.New(engine, cfg.Topology),
-		cfg:      cfg,
-		files:    make(map[string]*INode),
-		blocks:   make(map[BlockID]*Block),
-		replicas: make(map[BlockID][]DatanodeID),
-		audit:    auditlog.NewLog(cfg.KeepAuditRecords),
+		engine:      engine,
+		topo:        cfg.Topology,
+		fabric:      netsim.New(engine, cfg.Topology),
+		cfg:         cfg,
+		files:       make(map[string]*INode),
+		blocks:      make(map[BlockID]*Block),
+		replicas:    make(map[BlockID][]DatanodeID),
+		partitioned: make(map[int]bool),
+		audit:       auditlog.NewLog(cfg.KeepAuditRecords),
 	}
 	c.placement = NewDefaultPolicy()
 	standby := map[DatanodeID]bool{}
@@ -286,12 +353,17 @@ func New(engine *sim.Engine, cfg Config) *Cluster {
 			Capacity:    cfg.NodeCapacity,
 			MaxSessions: cfg.MaxSessionsPerNode,
 			blocks:      make(map[BlockID]bool),
-			activeFlows: make(map[*netsim.Flow]func()),
+			activeFlows: make(map[*netsim.Flow]*flowHandle),
+			corrupt:     make(map[BlockID]bool),
+			reported:    make(map[BlockID]bool),
 		}
 		if standby[d.ID] {
 			d.State = StateStandby
 		}
 		c.datanodes = append(c.datanodes, d)
+	}
+	if cfg.Heartbeat.Enabled {
+		sim.NewTicker(engine, c.cfg.Heartbeat.Interval, c.heartbeatTick)
 	}
 	return c
 }
@@ -404,9 +476,27 @@ func (c *Cluster) OnBlockRead(fn func(BlockReadEvent)) {
 	c.onBlockRead = append(c.onBlockRead, fn)
 }
 
-// OnDatanodeDown registers a callback fired when a datanode dies.
+// OnDatanodeDown registers a callback fired when a datanode dies — with
+// heartbeats enabled, that is when DeadTimeout expires, not when the
+// process crashes.
 func (c *Cluster) OnDatanodeDown(fn func(DatanodeID)) {
 	c.onDeadNode = append(c.onDeadNode, fn)
+}
+
+// OnDatanodeUp registers a callback fired when a datanode (re)joins
+// service: Restart of a dead node or Commission of a standby one. The
+// manager uses it to refresh ads and retry repairs that previously found
+// no target.
+func (c *Cluster) OnDatanodeUp(fn func(DatanodeID)) {
+	c.onNodeUp = append(c.onNodeUp, fn)
+}
+
+// OnCorruptReplica registers a callback fired when a corrupt replica is
+// detected (by the scrubber or a failed read checksum). The replica has
+// already been quarantined when the callback runs, unless it was the
+// block's last copy.
+func (c *Cluster) OnCorruptReplica(fn func(BlockID, DatanodeID)) {
+	c.onCorrupt = append(c.onCorrupt, fn)
 }
 
 // clientIP fabricates a stable client address for audit records. Negative
@@ -522,7 +612,9 @@ func (c *Cluster) Rename(src, dst string) error {
 	return nil
 }
 
-// attachReplica registers a replica on dn (metadata + space).
+// attachReplica registers a replica on dn (metadata + space). A freshly
+// landed copy is pristine, so any corruption flag from a previous
+// incarnation of the replica is cleared.
 func (c *Cluster) attachReplica(b *Block, dn DatanodeID) {
 	d := c.datanodes[dn]
 	if d.blocks[b.ID] {
@@ -530,6 +622,8 @@ func (c *Cluster) attachReplica(b *Block, dn DatanodeID) {
 	}
 	d.blocks[b.ID] = true
 	d.Used += b.Size
+	delete(d.corrupt, b.ID)
+	delete(d.reported, b.ID)
 	c.replicas[b.ID] = append(c.replicas[b.ID], dn)
 }
 
@@ -541,6 +635,8 @@ func (c *Cluster) detachReplica(b *Block, dn DatanodeID) {
 	}
 	delete(d.blocks, b.ID)
 	d.Used -= b.Size
+	delete(d.corrupt, b.ID)
+	delete(d.reported, b.ID)
 	reps := c.replicas[b.ID]
 	for i, r := range reps {
 		if r == dn {

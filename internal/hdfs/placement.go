@@ -50,6 +50,11 @@ func eligible(c *Cluster, b *Block, exclude map[DatanodeID]bool, states ...NodeS
 		if !okState[d.State] || holder[d.ID] || exclude[d.ID] {
 			continue
 		}
+		// Stale, crashed, or partitioned nodes do not receive writes: the
+		// namenode either distrusts them (stale) or cannot reach them.
+		if d.Stale || d.crashed || c.NodeUnreachable(d.ID) {
+			continue
+		}
 		if d.UncommittedFree() < b.Size {
 			continue
 		}
@@ -102,7 +107,8 @@ func (p *DefaultPolicy) ChooseTargets(c *Cluster, b *Block, count int, writer Da
 			// Writer-local if possible.
 			if writer >= 0 && int(writer) < len(c.datanodes) {
 				d := c.datanodes[writer]
-				if d.State == StateActive && !taken[writer] && d.Free() >= b.Size && !d.HasBlock(b.ID) {
+				if d.Eligible() && !c.NodeUnreachable(writer) && !taken[writer] &&
+					d.Free() >= b.Size && !d.HasBlock(b.ID) {
 					id, ok = writer, true
 				}
 			}

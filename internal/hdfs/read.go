@@ -172,35 +172,42 @@ const maxReadRetries = 3
 // selectReplica picks the serving datanode for a block read: node-local
 // first, then rack-local, then remote; within a tier the node with the
 // fewest active sessions (then total queue, then smallest ID) wins. Only
-// Active nodes serve.
+// nodes whose process is up and reachable from the client serve; stale
+// nodes (missed heartbeats) are avoided — chosen only when no fresh
+// replica exists, mirroring HDFS's avoid-stale-datanode read path.
 func (c *Cluster) selectReplica(client topology.NodeID, id BlockID, exclude map[DatanodeID]bool) (DatanodeID, Locality, bool) {
 	var best DatanodeID = -1
-	bestTier := 99
+	bestTier := 99 // locality tier + staleness penalty, for ordering
+	bestBase := 2  // locality tier alone, for reporting
 	bestLoad := 0
 	for _, r := range c.replicas[id] {
 		d := c.datanodes[r]
-		if !d.State.serves() || exclude[r] {
+		if !d.canServe() || exclude[r] || !c.reachable(topology.NodeID(r), client) {
 			continue
 		}
-		tier := 2
+		base := 2
 		if client >= 0 {
 			if topology.NodeID(r) == client {
-				tier = 0
+				base = 0
 			} else if c.topo.SameRack(topology.NodeID(r), client) {
-				tier = 1
+				base = 1
 			}
+		}
+		tier := base
+		if d.Stale {
+			tier += 10
 		}
 		load := d.sessions + len(d.waiting)
 		if best < 0 || tier < bestTier || (tier == bestTier && load < bestLoad) ||
 			(tier == bestTier && load == bestLoad && r < best) {
-			best, bestTier, bestLoad = r, tier, load
+			best, bestTier, bestBase, bestLoad = r, tier, base, load
 		}
 	}
 	if best < 0 {
 		return 0, Remote, false
 	}
 	loc := Remote
-	switch bestTier {
+	switch bestBase {
 	case 0:
 		loc = NodeLocal
 	case 1:
@@ -254,14 +261,23 @@ func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, don
 		flow := c.fabric.StartFlow(path, b.Size, 0, func(f *netsim.Flow) {
 			delete(d.activeFlows, f)
 			c.release(d)
+			// Client-side checksum: a corrupt replica streams fine but
+			// fails verification on arrival; the read reports it (namenode
+			// quarantines the copy) and retries elsewhere.
+			if d.corrupt[id] {
+				c.metrics.ChecksumFailures++
+				c.reportCorrupt(b, src)
+				retry()
+				return
+			}
 			done(b.Size, loc, nil)
 		})
 		// Register an abort handler so that if the serving node dies the
 		// read retries on another replica (the killer cancels the flow and
 		// invokes this).
-		d.activeFlows[flow] = func() {
+		d.activeFlows[flow] = &flowHandle{peer: client, abort: func() {
 			c.release(d)
 			retry()
-		}
+		}}
 	}, retry)
 }

@@ -17,12 +17,23 @@ import (
 // copies fans out across source disks instead of hammering one replica.
 // Standby holders can serve replication even though they do not serve
 // client reads (the node is powered for the transfer).
-func (c *Cluster) chooseSource(id BlockID, target DatanodeID) (DatanodeID, bool) {
+//
+// allowLocal permits the target node itself as the source (a node-local
+// disk read). Re-replicating a block to a node already holding it is
+// meaningless, so AddReplica passes false — but encode and rebuild read
+// *other* blocks of a stripe to the target, and the target holding the
+// only clean copy of one of them must not doom the operation.
+func (c *Cluster) chooseSource(id BlockID, target DatanodeID, allowLocal bool) (DatanodeID, bool) {
 	var best DatanodeID = -1
 	bestKey := [3]int{1 << 30, 99, 1 << 30}
 	for _, r := range c.replicas[id] {
 		d := c.datanodes[r]
-		if d.State == StateDown || r == target {
+		if d.State == StateDown || d.crashed || (r == target && !allowLocal) {
+			continue
+		}
+		// Never copy from a corrupt replica (it would propagate the rot) or
+		// across a partition the transfer cannot cross.
+		if d.corrupt[id] || !c.reachable(topology.NodeID(r), topology.NodeID(target)) {
 			continue
 		}
 		rackTier := 1
@@ -55,8 +66,12 @@ func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
 		return
 	}
 	td := c.datanodes[target]
-	if td.State == StateDown {
+	if td.State == StateDown || td.crashed {
 		c.finish(done, fmt.Errorf("hdfs: target %s is down", td.Name))
+		return
+	}
+	if c.NodeUnreachable(target) {
+		c.finish(done, fmt.Errorf("hdfs: target %s is unreachable (partitioned)", td.Name))
 		return
 	}
 	if td.HasBlock(id) {
@@ -81,7 +96,7 @@ func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
 		}
 	}
 	c.engine.Schedule(c.cfg.ReplCommandLatency, func() {
-		if td.State == StateDown {
+		if td.State == StateDown || td.crashed || c.NodeUnreachable(target) {
 			settle()
 			c.finish(done, fmt.Errorf("hdfs: target %s died before copy", td.Name))
 			return
@@ -91,7 +106,7 @@ func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
 			c.finish(done, nil)
 			return
 		}
-		src, ok := c.chooseSource(id, target)
+		src, ok := c.chooseSource(id, target, false)
 		if !ok {
 			settle()
 			c.finish(done, fmt.Errorf("hdfs: no live source for block %d", id))
@@ -104,7 +119,7 @@ func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
 			delete(sd.activeFlows, f)
 			sd.xferOut--
 			settle()
-			if td.State == StateDown {
+			if td.State == StateDown || td.crashed {
 				c.finish(done, fmt.Errorf("hdfs: target %s died during copy", td.Name))
 				return
 			}
@@ -113,12 +128,13 @@ func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
 			c.metrics.ReplicationMB += b.Size / topology.MB
 			c.finish(done, nil)
 		})
-		// Source death mid-copy retries from another source.
-		sd.activeFlows[flow] = func() {
+		// Source death (or a partition cutting the transfer) mid-copy
+		// retries from another source.
+		sd.activeFlows[flow] = &flowHandle{peer: topology.NodeID(target), abort: func() {
 			sd.xferOut--
 			settle()
 			c.AddReplica(id, target, done)
-		}
+		}}
 	})
 }
 

@@ -1,0 +1,263 @@
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"erms/internal/erasure"
+	"erms/internal/sim"
+)
+
+// CorruptReplica flips the stored copy of block id on dn to a corrupt
+// state — silent bit rot. Nothing happens until the corruption is
+// *detected*: a client read's checksum fails, the background scrubber
+// verifies the block, or the node rejoins from a partition and its block
+// report is reconciled.
+func (c *Cluster) CorruptReplica(id BlockID, dn DatanodeID) error {
+	b := c.blocks[id]
+	if b == nil {
+		return fmt.Errorf("hdfs: no such block %d", id)
+	}
+	d := c.datanodes[dn]
+	if !d.blocks[id] {
+		return fmt.Errorf("hdfs: %s holds no replica of block %d", d.Name, id)
+	}
+	d.corrupt[id] = true
+	return nil
+}
+
+// reportCorrupt is the namenode's corrupt-replica handler. If the block
+// has another clean copy — or is erasure-protected — the bad replica is
+// quarantined (dropped from the block map, so re-replication or stripe
+// reconstruction restores redundancy) and OnCorruptReplica fires. The
+// last copy of an unprotected block is kept (its undamaged bytes may be
+// partially salvageable, as the real namenode does) and reported exactly
+// once.
+func (c *Cluster) reportCorrupt(b *Block, dn DatanodeID) {
+	d := c.datanodes[dn]
+	if !d.corrupt[b.ID] || !d.blocks[b.ID] {
+		return
+	}
+	clean := 0
+	for _, r := range c.replicas[b.ID] {
+		if r != dn && !c.datanodes[r].corrupt[b.ID] {
+			clean++
+		}
+	}
+	f := c.files[b.File]
+	protected := f != nil && f.Encoded
+	if clean > 0 || protected || len(c.replicas[b.ID]) > 1 {
+		c.metrics.CorruptDetected++
+		c.metrics.CorruptBytes += b.Size
+		c.detachReplica(b, dn) // clears the corrupt flag with the replica
+		for _, fn := range c.onCorrupt {
+			fn(b.ID, dn)
+		}
+		return
+	}
+	if !d.reported[b.ID] {
+		d.reported[b.ID] = true
+		c.metrics.CorruptDetected++
+		c.metrics.CorruptBytes += b.Size
+		for _, fn := range c.onCorrupt {
+			fn(b.ID, dn)
+		}
+	}
+}
+
+// ScrubConfig tunes the background block scrubber (HDFS's
+// DataBlockScanner: every datanode re-verifies its replicas on a rolling
+// schedule; we model one cluster-wide scanner for determinism).
+type ScrubConfig struct {
+	// Period between scrub passes; default 30s.
+	Period time.Duration
+	// BlocksPerScan bounds how many blocks one pass verifies; the cursor
+	// carries over so the whole block space is covered every
+	// ceil(blocks/BlocksPerScan) passes. Default 50.
+	BlocksPerScan int
+}
+
+// ScanRate returns blocks verified per second of virtual time.
+func (s ScrubConfig) ScanRate() float64 {
+	p := s.Period
+	if p <= 0 {
+		p = 30 * time.Second
+	}
+	n := s.BlocksPerScan
+	if n <= 0 {
+		n = 50
+	}
+	return float64(n) / p.Seconds()
+}
+
+// StartScrubber runs the verification scanner until the returned stop
+// function is called. Each pass walks BlocksPerScan blocks in sorted-ID
+// order from a persistent cursor: plain blocks have each replica's
+// checksum re-read; encoded stripes are verified with the real
+// Reed–Solomon codec (erasure.Verify) over deterministic synthetic shard
+// contents. Detected corruption routes through reportCorrupt, so
+// quarantine and OnCorruptReplica behave exactly as for read-detected
+// corruption.
+func (c *Cluster) StartScrubber(cfg ScrubConfig) func() {
+	if cfg.Period <= 0 {
+		cfg.Period = 30 * time.Second
+	}
+	if cfg.BlocksPerScan <= 0 {
+		cfg.BlocksPerScan = 50
+	}
+	t := sim.NewTicker(c.engine, cfg.Period, func(time.Duration) {
+		c.scrubPass(cfg.BlocksPerScan)
+	})
+	return t.Stop
+}
+
+// scrubPass verifies the next n blocks in ID order, wrapping around.
+func (c *Cluster) scrubPass(n int) {
+	if len(c.blocks) == 0 {
+		return
+	}
+	ids := make([]BlockID, 0, len(c.blocks))
+	for bid := range c.blocks {
+		ids = append(ids, bid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if n > len(ids) {
+		n = len(ids)
+	}
+	if c.scrubCursor >= len(ids) {
+		c.scrubCursor = 0
+	}
+	for i := 0; i < n; i++ {
+		c.scrubBlock(ids[(c.scrubCursor+i)%len(ids)])
+	}
+	c.scrubCursor = (c.scrubCursor + n) % len(ids)
+}
+
+// scrubBlock verifies one block's replicas.
+func (c *Cluster) scrubBlock(bid BlockID) {
+	b := c.blocks[bid]
+	if b == nil {
+		return
+	}
+	reps := c.replicas[bid]
+	if len(reps) == 0 {
+		return
+	}
+	c.metrics.ReplicasScrubbed += len(reps)
+	f := c.files[b.File]
+	if f != nil && f.Encoded {
+		c.scrubStripe(f, b)
+		return
+	}
+	for _, dn := range append([]DatanodeID(nil), reps...) {
+		if c.datanodes[dn].corrupt[bid] {
+			c.reportCorrupt(b, dn)
+		}
+	}
+}
+
+// scrubStripe verifies the erasure stripe containing b by running the
+// actual RS codec over synthetic shard contents: each member's clean
+// bytes are a deterministic pattern of its block ID, stored parity is the
+// codec's encoding of the clean data, and members flagged corrupt get
+// their first byte perturbed — so Verify fails exactly when a member has
+// rotted, and the flagged members are then quarantined. Stripes with a
+// missing member (no live replica) skip Verify — that is a repair
+// problem, not a scrub problem — but still surface flagged members.
+func (c *Cluster) scrubStripe(f *INode, b *Block) {
+	data, parity, ok := c.stripeOf(f, b.ID)
+	if !ok {
+		return
+	}
+	flagged := c.flaggedMembers(append(append([]BlockID{}, data...), parity...))
+	codec, err := erasure.NewCodec(len(data), len(parity))
+	if err == nil && c.stripeFullyLive(data, parity) {
+		const shardLen = 16
+		shards := make([][]byte, 0, len(data)+len(parity))
+		cleanData := make([][]byte, 0, len(data))
+		for _, bid := range data {
+			cleanData = append(cleanData, shardPattern(bid, shardLen))
+		}
+		storedParity, perr := codec.Encode(cleanData)
+		if perr == nil {
+			for i, bid := range data {
+				shards = append(shards, perturbIfCorrupt(c, bid, cleanData[i]))
+			}
+			for i, bid := range parity {
+				shards = append(shards, perturbIfCorrupt(c, bid, storedParity[i]))
+			}
+			if verified, verr := codec.Verify(shards); verr == nil && verified {
+				return // codec agrees: stripe is clean
+			}
+		}
+	}
+	// Verification failed (or could not run): quarantine flagged members.
+	for _, fl := range flagged {
+		c.reportCorrupt(c.blocks[fl.bid], fl.dn)
+	}
+}
+
+type flaggedReplica struct {
+	bid BlockID
+	dn  DatanodeID
+}
+
+// flaggedMembers lists (block, node) pairs in the member set whose stored
+// copy is flagged corrupt, in deterministic order.
+func (c *Cluster) flaggedMembers(members []BlockID) []flaggedReplica {
+	var out []flaggedReplica
+	for _, bid := range members {
+		for _, dn := range c.replicas[bid] {
+			if c.datanodes[dn].corrupt[bid] {
+				out = append(out, flaggedReplica{bid, dn})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].bid != out[j].bid {
+			return out[i].bid < out[j].bid
+		}
+		return out[i].dn < out[j].dn
+	})
+	return out
+}
+
+// stripeFullyLive reports whether every stripe member has a replica —
+// Verify needs all K+M shards present.
+func (c *Cluster) stripeFullyLive(data, parity []BlockID) bool {
+	for _, bid := range append(append([]BlockID{}, data...), parity...) {
+		if len(c.replicas[bid]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// shardPattern derives a block's deterministic synthetic contents.
+func shardPattern(bid BlockID, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(int64(bid)*31 + int64(i)*7 + 3)
+	}
+	return out
+}
+
+// perturbIfCorrupt returns the clean shard, or a bit-flipped copy when any
+// replica of the member is flagged corrupt (single-replica members after
+// encoding, so "any" is "the" in practice).
+func perturbIfCorrupt(c *Cluster, bid BlockID, clean []byte) []byte {
+	corrupt := false
+	for _, dn := range c.replicas[bid] {
+		if c.datanodes[dn].corrupt[bid] {
+			corrupt = true
+			break
+		}
+	}
+	if !corrupt {
+		return clean
+	}
+	bad := append([]byte(nil), clean...)
+	bad[0] ^= 0xff
+	return bad
+}

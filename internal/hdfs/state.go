@@ -13,7 +13,7 @@ import (
 // start if the node leaves service while the request is still queued.
 func (c *Cluster) admit(d *Datanode, start, abort func()) *pendingSession {
 	p := &pendingSession{start: start, abort: abort}
-	if d.sessions < d.MaxSessions && d.State.serves() {
+	if d.sessions < d.MaxSessions && d.canServe() {
 		d.sessions++
 		start()
 		return p
@@ -25,7 +25,7 @@ func (c *Cluster) admit(d *Datanode, start, abort func()) *pendingSession {
 // release frees a session and admits the next waiter.
 func (c *Cluster) release(d *Datanode) {
 	d.sessions--
-	for len(d.waiting) > 0 && d.sessions < d.MaxSessions && d.State.serves() {
+	for len(d.waiting) > 0 && d.sessions < d.MaxSessions && d.canServe() {
 		p := d.waiting[0]
 		d.waiting = d.waiting[1:]
 		if p.canceled {
@@ -45,6 +45,7 @@ func (c *Cluster) Commission(id DatanodeID) {
 	}
 	d.State = StateActive
 	d.activeSince = c.engine.Now()
+	d.lastHeartbeat = c.engine.Now()
 	for len(d.waiting) > 0 && d.sessions < d.MaxSessions {
 		p := d.waiting[0]
 		d.waiting = d.waiting[1:]
@@ -53,6 +54,9 @@ func (c *Cluster) Commission(id DatanodeID) {
 		}
 		d.sessions++
 		p.start()
+	}
+	for _, fn := range c.onNodeUp {
+		fn(id)
 	}
 }
 
@@ -71,29 +75,27 @@ func (c *Cluster) ToStandby(id DatanodeID) {
 	c.abortWaiting(d)
 }
 
-// Kill marks a datanode dead: in-flight reads served from it abort and
-// retry elsewhere, and its replicas are lost (re-replication is the
-// monitor's job).
+// Kill crashes a datanode's process: in-flight transfers it serves abort
+// (reads retry elsewhere) and queued admissions fail. With heartbeats
+// disabled the namenode notices instantly — replicas are released and
+// OnDatanodeDown fires now. With heartbeats enabled the namenode keeps
+// counting the node's replicas as live until it misses heartbeats long
+// enough to go stale and then dead (declareDead).
 func (c *Cluster) Kill(id DatanodeID) {
 	d := c.datanodes[id]
-	if d.State == StateDown {
+	if d.State == StateDown || d.crashed {
+		return
+	}
+	if !c.cfg.Heartbeat.Enabled {
+		c.declareDead(id)
 		return
 	}
 	if d.State == StateActive {
 		d.ActiveTime += c.engine.Now() - d.activeSince
 	}
-	d.State = StateDown
+	d.crashed = true
 	c.abortServing(d)
 	c.abortWaiting(d)
-	// Drop its replicas from the block map (space bookkeeping stays — the
-	// disk is gone with the node, but Used on a dead node is irrelevant).
-	for bid := range d.blocks {
-		b := c.blocks[bid]
-		c.detachReplica(b, id)
-	}
-	for _, fn := range c.onDeadNode {
-		fn(id)
-	}
 }
 
 // Decommission gracefully drains a datanode: it keeps serving reads while
@@ -105,7 +107,7 @@ func (c *Cluster) Kill(id DatanodeID) {
 // ClassAds.
 func (c *Cluster) Decommission(id DatanodeID, done func(error)) {
 	d := c.datanodes[id]
-	if d.State != StateActive {
+	if d.State != StateActive || d.crashed {
 		c.finish(done, fmt.Errorf("hdfs: %s is %s, not active", d.Name, d.State))
 		return
 	}
@@ -119,6 +121,14 @@ func (c *Cluster) Decommission(id DatanodeID, done func(error)) {
 	outstanding := 0
 	var firstErr error
 	finishDrain := func() {
+		// The node may have left StateDecommissioning while the drain was
+		// in flight — killed, or restarted after a kill. Finishing the
+		// retirement then would resurrect a dead node (or wipe a live
+		// one's accounting), so the decommission aborts instead.
+		if d.State != StateDecommissioning {
+			c.finish(done, fmt.Errorf("hdfs: decommission of %s aborted: node is %s", d.Name, d.State))
+			return
+		}
 		if firstErr != nil {
 			c.finish(done, firstErr)
 			return
@@ -160,18 +170,32 @@ func (c *Cluster) Decommission(id DatanodeID, done func(error)) {
 	}
 }
 
-// Restart brings a dead node back empty (fresh disk), active.
+// Restart brings a dead node back empty (fresh disk), active. A crashed
+// node the namenode has not yet declared dead (heartbeat mode) is declared
+// dead first — its replicas release and OnDatanodeDown fires — then the
+// fresh process registers and OnDatanodeUp fires.
 func (c *Cluster) Restart(id DatanodeID) {
 	d := c.datanodes[id]
+	if d.crashed && d.State != StateDown {
+		c.declareDead(id)
+	}
 	if d.State != StateDown {
 		return
 	}
 	d.blocks = make(map[BlockID]bool)
+	d.corrupt = make(map[BlockID]bool)
+	d.reported = make(map[BlockID]bool)
 	d.Used = 0
 	d.sessions = 0
 	d.waiting = nil
+	d.crashed = false
+	d.Stale = false
 	d.State = StateActive
 	d.activeSince = c.engine.Now()
+	d.lastHeartbeat = c.engine.Now()
+	for _, fn := range c.onNodeUp {
+		fn(id)
+	}
 }
 
 // abortServing cancels every flow served from d and fires the registered
@@ -182,7 +206,7 @@ func (c *Cluster) abortServing(d *Datanode) {
 		return
 	}
 	flows := d.activeFlows
-	d.activeFlows = make(map[*netsim.Flow]func())
+	d.activeFlows = make(map[*netsim.Flow]*flowHandle)
 	ordered := make([]*netsim.Flow, 0, len(flows))
 	for f := range flows {
 		ordered = append(ordered, f)
@@ -192,7 +216,7 @@ func (c *Cluster) abortServing(d *Datanode) {
 		c.fabric.Cancel(f)
 	}
 	for _, f := range ordered {
-		flows[f]()
+		flows[f].abort()
 	}
 }
 

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSetLinkFactorSlowsActiveFlow: degrading the disk mid-transfer
+// stretches the completion time exactly as the bandwidth math predicts.
+func TestSetLinkFactorSlowsActiveFlow(t *testing.T) {
+	e, topo, fb := newFabric(t)
+	disk := topo.Node(0).Disk
+	var doneAt time.Duration
+	// Local read at 80 MB/s; 160 MB would take 2 s untouched.
+	fb.StartFlow(topo.ReadPath(0, 0), 160*mb, 0, func(*Flow) { doneAt = e.Now() })
+	// After 1 s (80 MB moved), halve the disk: the remaining 80 MB runs at
+	// 40 MB/s and takes 2 s more — total 3 s.
+	e.Schedule(time.Second, func() { fb.SetLinkFactor(disk, 0.5) })
+	e.Run()
+	want := 3 * time.Second
+	if diff := (doneAt - want).Abs(); diff > time.Millisecond {
+		t.Fatalf("doneAt = %v, want ~%v", doneAt, want)
+	}
+	if got := fb.LinkFactor(disk); got != 0.5 {
+		t.Fatalf("LinkFactor = %v", got)
+	}
+}
+
+// TestSetLinkFactorComposesFromNominal: factors replace each other against
+// the nominal capacity rather than compounding, and restoring to 1 returns
+// the link to its configured bandwidth.
+func TestSetLinkFactorComposesFromNominal(t *testing.T) {
+	e, topo, fb := newFabric(t)
+	disk := topo.Node(0).Disk
+	fb.SetLinkFactor(disk, 0.5)
+	fb.SetLinkFactor(disk, 0.25) // 0.25 × nominal, NOT 0.25 × 0.5
+	fb.SetLinkFactor(disk, 1)
+
+	var doneAt time.Duration
+	fb.StartFlow(topo.ReadPath(0, 0), 80*mb, 0, func(*Flow) { doneAt = e.Now() })
+	e.Run()
+	// Back at the nominal 80 MB/s, 80 MB takes exactly 1 s.
+	if diff := (doneAt - time.Second).Abs(); diff > time.Millisecond {
+		t.Fatalf("doneAt after restore = %v, want ~1s", doneAt)
+	}
+}
+
+// TestSetLinkFactorRebalancesCompetingFlows: slowing one node's NIC frees
+// shared uplink bandwidth for a competitor (max-min reallocation happens
+// at the factor change, not lazily).
+func TestSetLinkFactorRebalancesCompetingFlows(t *testing.T) {
+	e, topo, fb := newFabric(t)
+	// Two cross-rack reads share the 250 MB/s uplink; each is disk-limited
+	// at 80 MB/s, so the uplink is not the bottleneck. Slow reader A's
+	// source disk to 10%: A crawls at 8 MB/s, B stays at 80 MB/s.
+	diskA := topo.Node(0).Disk
+	var doneA, doneB time.Duration
+	fb.StartFlow(topo.ReadPath(0, 3), 160*mb, 0, func(*Flow) { doneA = e.Now() })
+	fb.StartFlow(topo.ReadPath(1, 4), 160*mb, 0, func(*Flow) { doneB = e.Now() })
+	e.Schedule(time.Second, func() { fb.SetLinkFactor(diskA, 0.1) })
+	e.Run()
+	// B: 160 MB at 80 MB/s = 2 s, unaffected.
+	if diff := (doneB - 2*time.Second).Abs(); diff > 10*time.Millisecond {
+		t.Fatalf("unaffected flow doneAt = %v, want ~2s", doneB)
+	}
+	// A: 80 MB in the first second, then 80 MB at 8 MB/s = 10 s more.
+	want := 11 * time.Second
+	if diff := (doneA - want).Abs(); diff > 50*time.Millisecond {
+		t.Fatalf("slowed flow doneAt = %v, want ~%v", doneA, want)
+	}
+}
+
+// TestSetLinkFactorPanicsOnNonPositive: a zero factor would wedge flows
+// forever; the fabric rejects it loudly.
+func TestSetLinkFactorPanicsOnNonPositive(t *testing.T) {
+	_, topo, fb := newFabric(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor 0 accepted")
+		}
+	}()
+	fb.SetLinkFactor(topo.Node(0).Disk, 0)
+}

@@ -12,6 +12,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"erms/internal/sim"
@@ -65,19 +66,54 @@ type Fabric struct {
 	BytesMoved float64
 	// bytesPerLink accumulates delivered bytes per link.
 	bytesPerLink []float64
+	// baseCap remembers each link's nominal capacity so degradation
+	// factors compose from the original value, not from each other.
+	baseCap []float64
+	// factor is the current degradation multiplier per link (1 = healthy).
+	factor []float64
 }
 
 // New creates a fabric over the topology's link table.
 func New(engine *sim.Engine, topo *topology.Topology) *Fabric {
 	links := make([]topology.Link, len(topo.Links))
 	copy(links, topo.Links)
+	base := make([]float64, len(links))
+	factor := make([]float64, len(links))
+	for i, l := range links {
+		base[i] = l.Capacity
+		factor[i] = 1
+	}
 	return &Fabric{
 		engine:       engine,
 		links:        links,
 		flows:        make(map[int64]*Flow),
 		bytesPerLink: make([]float64, len(links)),
+		baseCap:      base,
+		factor:       factor,
 	}
 }
+
+// SetLinkFactor scales link id's capacity to factor × its nominal value —
+// the chaos harness's slow-disk / slow-NIC / congested-uplink fault.
+// In-flight flows are settled at their old rates and re-fair-shared under
+// the new capacity. Factor 1 restores the link; factors compose from the
+// nominal capacity, not the current one. Panics on factor <= 0 (a dead
+// link is a partition or crash, not a slow link).
+func (fb *Fabric) SetLinkFactor(id topology.LinkID, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("netsim: link factor %v must be positive", factor))
+	}
+	if fb.factor[id] == factor {
+		return
+	}
+	fb.settle()
+	fb.factor[id] = factor
+	fb.links[id].Capacity = fb.baseCap[id] * factor
+	fb.reallocate()
+}
+
+// LinkFactor returns the current degradation multiplier for link id.
+func (fb *Fabric) LinkFactor(id topology.LinkID) float64 { return fb.factor[id] }
 
 // ActiveFlows returns the number of in-flight flows.
 func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
@@ -89,7 +125,7 @@ func (fb *Fabric) LinkBytes(id topology.LinkID) float64 { return fb.bytesPerLink
 // capacity) of link id.
 func (fb *Fabric) LinkUtilization(id topology.LinkID) float64 {
 	var used float64
-	for _, f := range fb.flows {
+	for _, f := range fb.ordered() {
 		for _, l := range f.path {
 			if l == id {
 				used += f.rate
@@ -156,13 +192,25 @@ func (fb *Fabric) Progress(f *Flow) float64 {
 	return rem
 }
 
+// ordered returns the active flows sorted by id. Every loop whose float
+// arithmetic or tie-breaking depends on visit order must use this instead
+// of ranging over the flows map, or runs stop being bit-reproducible.
+func (fb *Fabric) ordered() []*Flow {
+	out := make([]*Flow, 0, len(fb.flows))
+	for _, f := range fb.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // settle advances every active flow's remaining bytes to the current
 // instant, attributing the moved bytes to accounting.
 func (fb *Fabric) settle() {
 	now := fb.engine.Now()
 	elapsed := (now - fb.lastCalc).Seconds()
 	if elapsed > 0 {
-		for _, f := range fb.flows {
+		for _, f := range fb.ordered() {
 			moved := f.rate * elapsed
 			if moved > f.remaining {
 				moved = f.remaining
@@ -192,7 +240,7 @@ func (fb *Fabric) reallocate() {
 	// Next completion: the flow with the smallest remaining/rate.
 	var soonest *Flow
 	var eta float64 = math.Inf(1)
-	for _, f := range fb.flows {
+	for _, f := range fb.ordered() {
 		if f.rate <= 0 {
 			continue
 		}
@@ -223,22 +271,14 @@ func (fb *Fabric) reallocate() {
 func (fb *Fabric) completeDue() {
 	fb.nextDone = nil
 	fb.settle()
-	var finished []*Flow
-	for _, f := range fb.flows {
+	var finished []*Flow // in id order, so completion callbacks are too
+	for _, f := range fb.ordered() {
 		// A flow is done when what remains is less than it can move in one
 		// clock tick (1 ns) — the clock cannot resolve anything smaller —
 		// plus a fixed epsilon for float rounding.
 		epsilon := 1e-6 + f.rate*2e-9
 		if f.remaining <= epsilon {
 			finished = append(finished, f)
-		}
-	}
-	// Deterministic completion order by flow ID.
-	for i := 0; i < len(finished); i++ {
-		for j := i + 1; j < len(finished); j++ {
-			if finished[j].id < finished[i].id {
-				finished[i], finished[j] = finished[j], finished[i]
-			}
 		}
 	}
 	for _, f := range finished {
@@ -264,25 +304,29 @@ func (fb *Fabric) computeRates() {
 		residual float64
 		nActive  int
 	}
+	flows := fb.ordered() // fixed visit order keeps the float math reproducible
 	states := make(map[topology.LinkID]*linkState)
-	frozen := make(map[int64]bool, len(fb.flows))
-	for _, f := range fb.flows {
+	frozen := make(map[int64]bool, len(flows))
+	var linkIDs []topology.LinkID
+	for _, f := range flows {
 		f.rate = 0
 		for _, l := range f.path {
 			st := states[l]
 			if st == nil {
 				st = &linkState{residual: fb.links[l].Capacity}
 				states[l] = st
+				linkIDs = append(linkIDs, l)
 			}
 			st.nActive++
 		}
 	}
-	remaining := len(fb.flows)
+	sort.Slice(linkIDs, func(i, j int) bool { return linkIDs[i] < linkIDs[j] })
+	remaining := len(flows)
 	for remaining > 0 {
 		// Tightest link share among links with unfrozen flows.
 		share := math.Inf(1)
-		for _, st := range states {
-			if st.nActive > 0 {
+		for _, id := range linkIDs {
+			if st := states[id]; st.nActive > 0 {
 				s := st.residual / float64(st.nActive)
 				if s < share {
 					share = s
@@ -291,7 +335,7 @@ func (fb *Fabric) computeRates() {
 		}
 		// A flow cap can bind before the link share does.
 		capBind := math.Inf(1)
-		for _, f := range fb.flows {
+		for _, f := range flows {
 			if frozen[f.id] || f.maxRate <= 0 {
 				continue
 			}
@@ -311,7 +355,7 @@ func (fb *Fabric) computeRates() {
 			rate = math.MaxFloat64 / 4
 		}
 		// Freeze the binding flows.
-		for _, f := range fb.flows {
+		for _, f := range flows {
 			if frozen[f.id] {
 				continue
 			}
