@@ -1,0 +1,201 @@
+// Command benchdiff gates CI on the committed benchmark trajectory: it
+// compares a fresh `go test -json -bench` run (BENCH_cep.new.json, as
+// written by `make bench`) against the committed baseline
+// (BENCH_cep.json) and exits nonzero when
+//
+//   - any benchmark slows down by more than -threshold (default 20%)
+//     in ns/op, or
+//   - a judge hot-path benchmark (-hot regex) gains even one alloc/op —
+//     the CEP fast path is allocation-budgeted, so any increase is a
+//     regression regardless of speed.
+//
+// Benchmarks present on only one side are reported but do not fail the
+// run; machine-to-machine speed noise is what the generous ns/op
+// threshold absorbs.
+//
+// Usage:
+//
+//	benchdiff                                # BENCH_cep.json vs BENCH_cep.new.json
+//	benchdiff -baseline old.json -new new.json -threshold 0.1
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's measurements.
+type result struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+	HasAllocs   bool
+}
+
+// testEvent is the subset of test2json's event schema benchdiff reads.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// procSuffix is the -N GOMAXPROCS suffix Go appends to benchmark names;
+// stripping it keeps baselines comparable across machines.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads test2json output and returns measurements keyed by
+// benchmark name (sub-benchmarks keep their /-qualified names).
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := map[string]result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] != '{' {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue // interleaved non-JSON noise is not our problem
+		}
+		if ev.Action != "output" || !strings.Contains(ev.Output, "ns/op") {
+			continue
+		}
+		name := ev.Test
+		fields := strings.Fields(ev.Output)
+		// Plain `go test -bench` lines carry the name in the output itself.
+		if len(fields) > 0 && strings.HasPrefix(fields[0], "Benchmark") {
+			name = fields[0]
+			fields = fields[1:]
+		}
+		if name == "" {
+			continue
+		}
+		name = procSuffix.ReplaceAllString(name, "")
+		res := result{}
+		for i := 1; i < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+				res.HasAllocs = true
+			}
+		}
+		if res.NsPerOp > 0 {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// verdict is one row of the comparison.
+type verdict struct {
+	Name   string
+	Reason string // empty = pass
+	Delta  float64
+}
+
+// diff compares fresh against base and returns per-benchmark verdicts
+// (sorted by name) plus whether any of them fail the gate.
+func diff(base, fresh map[string]result, threshold float64, hot *regexp.Regexp) ([]verdict, bool) {
+	var names []string
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var rows []verdict
+	failed := false
+	for _, n := range names {
+		b := base[n]
+		f, ok := fresh[n]
+		if !ok {
+			rows = append(rows, verdict{Name: n, Reason: "missing from new run (not failing)"})
+			continue
+		}
+		delta := f.NsPerOp/b.NsPerOp - 1
+		v := verdict{Name: n, Delta: delta}
+		switch {
+		case delta > threshold:
+			v.Reason = fmt.Sprintf("ns/op regressed %.1f%% (%.1f -> %.1f, threshold %.0f%%)",
+				delta*100, b.NsPerOp, f.NsPerOp, threshold*100)
+			failed = true
+		case hot.MatchString(n) && b.HasAllocs && f.HasAllocs && f.AllocsPerOp > b.AllocsPerOp:
+			v.Reason = fmt.Sprintf("allocs/op on judge hot path grew %g -> %g (any increase fails)",
+				b.AllocsPerOp, f.AllocsPerOp)
+			failed = true
+		}
+		rows = append(rows, v)
+	}
+	var extra []string
+	for n := range fresh {
+		if _, ok := base[n]; !ok {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		rows = append(rows, verdict{Name: n, Reason: "new benchmark, no baseline (not failing)"})
+	}
+	return rows, failed
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		baseline  = flag.String("baseline", "BENCH_cep.json", "committed baseline (test2json)")
+		fresh     = flag.String("new", "BENCH_cep.new.json", "fresh run to compare (test2json)")
+		threshold = flag.Float64("threshold", 0.20, "max tolerated ns/op slowdown (fraction)")
+		hotExpr   = flag.String("hot", "JudgePass|AuditIngest|Insert|Rows|EachRow",
+			"benchmarks where any allocs/op increase fails")
+	)
+	flag.Parse()
+	hot, err := regexp.Compile(*hotExpr)
+	if err != nil {
+		log.Fatalf("bad -hot regex: %v", err)
+	}
+	load := func(path string) map[string]result {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		m, err := parseBench(f)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if len(m) == 0 {
+			log.Fatalf("%s: no benchmark results found", path)
+		}
+		return m
+	}
+	rows, failed := diff(load(*baseline), load(*fresh), *threshold, hot)
+	for _, r := range rows {
+		status := fmt.Sprintf("ok   %+6.1f%%", r.Delta*100)
+		if r.Reason != "" {
+			if strings.Contains(r.Reason, "not failing") {
+				status = "note " + r.Reason
+			} else {
+				status = "FAIL " + r.Reason
+			}
+		}
+		fmt.Printf("%-45s %s\n", r.Name, status)
+	}
+	if failed {
+		log.Fatal("benchmark gate failed")
+	}
+	fmt.Println("benchmark gate passed")
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var hotRe = regexp.MustCompile("JudgePass|AuditIngest|Insert|Rows|EachRow")
+
+// line fabricates one test2json benchmark result line.
+func line(name string, ns float64, allocs int) string {
+	return fmt.Sprintf(`{"Action":"output","Package":"erms/internal/core","Test":%q,`+
+		`"Output":"   22532\t     %.1f ns/op\t   20569 B/op\t     %d allocs/op\n"}`,
+		name, ns, allocs)
+}
+
+func parse(t *testing.T, lines ...string) map[string]result {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBench(t *testing.T) {
+	m := parse(t,
+		`{"Action":"start","Package":"erms/internal/core"}`,
+		"goos: linux", // non-JSON noise between events
+		line("BenchmarkJudgePass", 52425, 153),
+		// Plain -bench output embeds the name (with -N suffix) in the line.
+		`{"Action":"output","Output":"BenchmarkAuditIngest-8   3970390\t 328.5 ns/op\t 50 B/op\t 0 allocs/op\n"}`,
+		`{"Action":"output","Test":"BenchmarkRowsEvaluation/events=10000","Output":" 134432\t 8890 ns/op\n"}`,
+	)
+	if len(m) != 3 {
+		t.Fatalf("parsed %d benchmarks: %+v", len(m), m)
+	}
+	jp := m["BenchmarkJudgePass"]
+	if jp.NsPerOp != 52425 || jp.AllocsPerOp != 153 || !jp.HasAllocs {
+		t.Fatalf("JudgePass = %+v", jp)
+	}
+	if m["BenchmarkAuditIngest"].NsPerOp != 328.5 {
+		t.Fatalf("suffix not stripped: %+v", m)
+	}
+	if sub := m["BenchmarkRowsEvaluation/events=10000"]; sub.NsPerOp != 8890 || sub.HasAllocs {
+		t.Fatalf("sub-benchmark = %+v", sub)
+	}
+}
+
+// TestSyntheticSlowdownFails is the acceptance fixture: a 2x ns/op
+// slowdown must trip the 20% gate.
+func TestSyntheticSlowdownFails(t *testing.T) {
+	base := parse(t, line("BenchmarkJudgePass", 50000, 153))
+	fresh := parse(t, line("BenchmarkJudgePass", 100000, 153))
+	rows, failed := diff(base, fresh, 0.20, hotRe)
+	if !failed {
+		t.Fatal("2x slowdown did not fail the gate")
+	}
+	if len(rows) != 1 || !strings.Contains(rows[0].Reason, "ns/op regressed 100.0%") {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	base := parse(t, line("BenchmarkJudgePass", 50000, 153))
+	fresh := parse(t, line("BenchmarkJudgePass", 59000, 153)) // +18%
+	if rows, failed := diff(base, fresh, 0.20, hotRe); failed {
+		t.Fatalf("18%% slowdown should pass a 20%% gate: %+v", rows)
+	}
+}
+
+func TestHotPathAllocIncreaseFails(t *testing.T) {
+	base := parse(t, line("BenchmarkJudgePass", 50000, 153))
+	fresh := parse(t, line("BenchmarkJudgePass", 50000, 154))
+	rows, failed := diff(base, fresh, 0.20, hotRe)
+	if !failed || !strings.Contains(rows[0].Reason, "allocs/op") {
+		t.Fatalf("one extra alloc on the hot path must fail: %+v", rows)
+	}
+	// The same increase off the hot path only has the ns/op gate.
+	base = parse(t, line("BenchmarkParseQuery", 4000, 47))
+	fresh = parse(t, line("BenchmarkParseQuery", 4000, 60))
+	if _, failed := diff(base, fresh, 0.20, hotRe); failed {
+		t.Fatal("alloc growth off the hot path should not fail")
+	}
+}
+
+func TestMissingAndNewBenchmarksDoNotFail(t *testing.T) {
+	base := parse(t, line("BenchmarkJudgePass", 50000, 153), line("BenchmarkGone", 100, 0))
+	fresh := parse(t, line("BenchmarkJudgePass", 50000, 153), line("BenchmarkAdded", 100, 0))
+	rows, failed := diff(base, fresh, 0.20, hotRe)
+	if failed {
+		t.Fatalf("membership changes must not fail: %+v", rows)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 rows (pass, missing, new): %+v", rows)
+	}
+}

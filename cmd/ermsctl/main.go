@@ -7,6 +7,8 @@
 //	ermsctl -duration 2h -seed 3          # replay a trace, print the report
 //	ermsctl -demo                         # scripted hot/cold lifecycle demo
 //	ermsctl -duration 1h -log             # include the Condor user log
+//	ermsctl trace -o out.json             # export a Chrome trace (Perfetto)
+//	ermsctl metrics                       # Prometheus-style metrics snapshot
 package main
 
 import (
@@ -25,6 +27,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ermsctl: ")
+	if len(os.Args) > 1 && (os.Args[1] == "trace" || os.Args[1] == "metrics") {
+		runToolCommand(os.Args[1], os.Args[2:])
+		return
+	}
 	var (
 		seed       = flag.Int64("seed", 1, "workload seed")
 		duration   = flag.Duration("duration", time.Hour, "trace length")
@@ -69,6 +75,53 @@ func main() {
 		reportJSON(sys)
 	} else {
 		report(sys, *showLog)
+	}
+}
+
+// runToolCommand handles the observability subcommands: both replay the
+// same synthetic workload, then `trace` exports the recorded span tree
+// as Chrome trace_event JSON (load in Perfetto or chrome://tracing) and
+// `metrics` prints the registry's Prometheus-style snapshot.
+func runToolCommand(cmd string, args []string) {
+	fs := flag.NewFlagSet("ermsctl "+cmd, flag.ExitOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "workload seed")
+		duration = fs.Duration("duration", 30*time.Minute, "trace length")
+		files    = fs.Int("files", 20, "file catalog size")
+		out      = fs.String("o", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+
+	sys := erms.NewSystem(erms.Options{EnableTrace: cmd == "trace"})
+	tr := erms.SynthesizeWorkload(erms.WorkloadConfig{
+		Seed:             *seed,
+		Duration:         *duration,
+		NumFiles:         *files,
+		MeanInterarrival: 6 * time.Second,
+	})
+	sys.Preload(tr)
+	sys.ReplayReads(tr, nil)
+	sys.RunUntil(tr.Horizon(30 * time.Minute))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch cmd {
+	case "trace":
+		if err := sys.Tracer().WriteChromeTrace(w); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%d spans exported; open the file in https://ui.perfetto.dev or chrome://tracing", sys.Tracer().Len())
+	case "metrics":
+		if err := sys.Registry().WritePrometheus(w); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, durability, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, durability, trace, all")
 	seed := flag.Int64("seed", 1, "workload seed")
 	full := flag.Bool("full", false, "paper-scale runs (slower) instead of quick scale")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the series figures (4, 5)")
@@ -156,6 +156,19 @@ func main() {
 			cfg.Corruptions = 20
 		}
 		fmt.Println(experiments.DurabilityTable(experiments.Durability(cfg)))
+	}
+	if want("trace") {
+		ran = true
+		res := experiments.TraceDemo()
+		t := &metrics.Table{
+			Title:   "Trace demo: control-loop spans for one hot file (burst -> judge -> condor -> transfers -> drain)",
+			Columns: []string{"span", "count", "total_s"},
+		}
+		for _, s := range res.Tracer.Summarize() {
+			t.AddRowValues(s.Name, s.Count, s.Total.Seconds())
+		}
+		fmt.Println(t)
+		fmt.Println("export the full tree with `ermsctl trace -o trace.json` and load it in https://ui.perfetto.dev")
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)

@@ -5,6 +5,9 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"erms/internal/metrics"
+	"erms/internal/trace"
 )
 
 // Engine routes inserted events to compiled statements. It reads the
@@ -13,10 +16,34 @@ type Engine struct {
 	clock      func() time.Duration
 	statements map[string][]*Statement // by event type
 	inserted   uint64
+	tracer     *trace.Tracer // nil: tracing disabled
 
 	scratch     *Event // reused dispatch copy, so Insert's argument never escapes
 	dispatching int
 	needCompact bool // a statement closed itself mid-dispatch
+}
+
+// SetTracer installs a span tracer: every statement evaluation through
+// EachRow records a "cep.eval" span under the ambient span, labelled with
+// the statement's SetLabel name. A nil tracer (the default) disables
+// tracing with zero overhead.
+func (e *Engine) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// RegisterMetrics registers the engine's counters into a metrics
+// registry: cep_events_inserted_total tracks the audit→CEP feed volume.
+func (e *Engine) RegisterMetrics(r *metrics.Registry) {
+	r.GaugeFunc("cep_events_inserted_total", func() float64 { return float64(e.inserted) })
+	r.GaugeFunc("cep_statements", func() float64 {
+		n := 0
+		for _, regs := range e.statements {
+			for _, s := range regs {
+				if !s.closed {
+					n++
+				}
+			}
+		}
+		return float64(n)
+	})
 }
 
 // New creates an engine. clock supplies the current (virtual) time.
@@ -127,6 +154,14 @@ type Statement struct {
 	window []*Event
 	inc    *incState // nil: generic fallback
 	closed bool
+	label  string // trace label, e.g. "files"; set via SetLabel
+}
+
+// SetLabel names the statement for trace spans ("files", "blocks", ...).
+// It returns the statement so compile-and-label chains stay one line.
+func (s *Statement) SetLabel(label string) *Statement {
+	s.label = label
+	return s
 }
 
 // Incremental reports whether the statement evaluates on the incremental
@@ -398,6 +433,19 @@ func (s *Statement) MustRows() []Row {
 // the slice. The generic fallback adapts Rows() output, so EachRow is
 // always available.
 func (s *Statement) EachRow(fn func(cols []Val)) error {
+	if tr := s.engine.tracer; tr.Enabled() {
+		sp := tr.Begin("cep.eval", tr.Current())
+		if s.label != "" {
+			tr.SetAttr(sp, "stmt", s.label)
+		}
+		rows := 0
+		inner := fn
+		fn = func(cols []Val) { rows++; inner(cols) }
+		defer func() {
+			tr.SetAttrInt(sp, "rows", int64(rows))
+			tr.End(sp)
+		}()
+	}
 	if s.inc != nil {
 		return s.inc.each(fn)
 	}

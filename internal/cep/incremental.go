@@ -97,8 +97,8 @@ type mdq struct {
 	head int
 }
 
-func (d *mdq) len() int      { return len(d.buf) - d.head }
-func (d *mdq) front() dqEnt  { return d.buf[d.head] }
+func (d *mdq) len() int     { return len(d.buf) - d.head }
+func (d *mdq) front() dqEnt { return d.buf[d.head] }
 func (d *mdq) popFront() {
 	d.head++
 	if d.head > 64 && d.head > len(d.buf)/2 {

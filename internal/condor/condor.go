@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"erms/internal/classad"
+	"erms/internal/metrics"
 	"erms/internal/sim"
+	"erms/internal/trace"
 )
 
 // Class splits jobs by urgency, mirroring the paper: "It schedules the
@@ -97,6 +99,9 @@ type Job struct {
 	MachineID  string
 	// Attempt counts executions started so far (1 on the first run).
 	Attempt int
+	// Span is the job's "condor.job" trace span, opened at Submit and
+	// closed at the terminal state (0 when tracing is disabled).
+	Span trace.SpanID
 }
 
 // Machine is an execution target advertised to the scheduler.
@@ -154,8 +159,29 @@ type Scheduler struct {
 	nextID    int
 	idleProbe func() bool
 	log       []LogEvent
+	stats     Stats // incrementally maintained by logEvent
 	ticker    *sim.Ticker
 	kick      bool // a same-instant negotiation is already scheduled
+	tracer    *trace.Tracer
+}
+
+// SetTracer installs a span tracer: each job records a "condor.job" span
+// from submit to terminal state, with one "condor.attempt" child per
+// execution. Nil disables tracing.
+func (s *Scheduler) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
+// RegisterMetrics registers job-outcome counters and queue gauges into a
+// metrics registry.
+func (s *Scheduler) RegisterMetrics(r *metrics.Registry) {
+	r.GaugeFunc("condor_jobs_submitted_total", func() float64 { return float64(s.stats.Submitted) })
+	r.GaugeFunc("condor_jobs_completed_total", func() float64 { return float64(s.stats.Completed) })
+	r.GaugeFunc("condor_jobs_failed_total", func() float64 { return float64(s.stats.Failed) })
+	r.GaugeFunc("condor_jobs_rolled_back_total", func() float64 { return float64(s.stats.RolledBack) })
+	r.GaugeFunc("condor_jobs_aborted_total", func() float64 { return float64(s.stats.Aborted) })
+	r.GaugeFunc("condor_attempts_retried_total", func() float64 { return float64(s.stats.Retried) })
+	r.GaugeFunc("condor_attempts_timed_out_total", func() float64 { return float64(s.stats.TimedOut) })
+	r.GaugeFunc("condor_jobs_running", func() float64 { return float64(s.running) })
+	r.GaugeFunc("condor_jobs_pending", func() float64 { return float64(s.Pending()) })
 }
 
 // Config tunes the scheduler.
@@ -241,6 +267,12 @@ func (s *Scheduler) Submit(j *Job) *Job {
 	j.SubmitTime = s.engine.Now()
 	s.byID[j.ID] = j
 	s.queue = append(s.queue, j)
+	if tr := s.tracer; tr.Enabled() {
+		j.Span = tr.Begin("condor.job", tr.Current())
+		tr.SetAttr(j.Span, "name", j.Name)
+		tr.SetAttr(j.Span, "class", j.Class.String())
+		tr.SetAttrInt(j.Span, "job", int64(j.ID))
+	}
 	s.logEvent(j, EventSubmit, j.Class.String())
 	if j.Class == ClassImmediate {
 		s.kickSoon()
@@ -261,10 +293,16 @@ func (s *Scheduler) Abort(j *Job) bool {
 	return true
 }
 
-// notify invokes the job's terminal-state callback, if any.
+// notify closes the job's trace span and invokes its terminal-state
+// callback, if any. The callback runs with the job span ambient so any
+// follow-up work it launches parents under the job.
 func (s *Scheduler) notify(j *Job) {
+	s.tracer.SetAttr(j.Span, "state", j.State.String())
+	s.tracer.End(j.Span)
 	if j.Notify != nil {
+		prev := s.tracer.Push(j.Span)
 		j.Notify(j)
+		s.tracer.Pop(prev)
 	}
 }
 
@@ -360,6 +398,11 @@ func (s *Scheduler) start(j *Job, m *Machine) {
 		detail = fmt.Sprintf("on %s (attempt %d)", m.Name, j.Attempt)
 	}
 	s.logEvent(j, EventExecute, detail)
+	attemptSpan := s.tracer.Begin("condor.attempt", j.Span)
+	if s.tracer.Enabled() {
+		s.tracer.SetAttr(attemptSpan, "machine", m.Name)
+		s.tracer.SetAttrInt(attemptSpan, "attempt", int64(j.Attempt))
+	}
 	finished := false
 	timedOut := false
 	var watchdog *sim.Event
@@ -384,9 +427,14 @@ func (s *Scheduler) start(j *Job, m *Machine) {
 			j.EndTime = s.engine.Now()
 			j.State = StateCompleted
 			s.logEvent(j, EventTerminate, "ok")
+			s.tracer.End(attemptSpan)
 			s.notify(j)
 			s.kickSoon()
 			return
+		}
+		if s.tracer.Enabled() {
+			s.tracer.SetAttr(attemptSpan, "error", err.Error())
+			s.tracer.End(attemptSpan)
 		}
 		s.afterFailure(j, err)
 	}
@@ -399,10 +447,16 @@ func (s *Scheduler) start(j *Job, m *Machine) {
 			watchdog = nil
 			reclaim()
 			s.logEvent(j, EventTimeout, fmt.Sprintf("after %s on %s", t, m.Name))
+			if s.tracer.Enabled() {
+				s.tracer.SetAttr(attemptSpan, "error", "timeout")
+				s.tracer.End(attemptSpan)
+			}
 			s.afterFailure(j, fmt.Errorf("condor: job %d hung for %s on %s", j.ID, t, m.Name))
 		})
 	}
+	prev := s.tracer.Push(attemptSpan)
 	j.Run(m, done)
+	s.tracer.Pop(prev)
 }
 
 // afterFailure routes a failed or timed-out attempt: schedule a retry with
@@ -470,6 +524,22 @@ func (s *Scheduler) logEvent(j *Job, kind EventKind, detail string) {
 	s.log = append(s.log, LogEvent{
 		Time: s.engine.Now(), JobID: j.ID, JobName: j.Name, Kind: kind, Detail: detail,
 	})
+	switch kind {
+	case EventSubmit:
+		s.stats.Submitted++
+	case EventTerminate:
+		s.stats.Completed++
+	case EventFail:
+		s.stats.Failed++
+	case EventRollback:
+		s.stats.RolledBack++
+	case EventAbort:
+		s.stats.Aborted++
+	case EventRetry:
+		s.stats.Retried++
+	case EventTimeout:
+		s.stats.TimedOut++
+	}
 }
 
 // Log returns the user log (all job events, in order).
@@ -491,26 +561,6 @@ type Stats struct {
 	Retried, TimedOut                                 int
 }
 
-// Stats computes outcome counts from the log.
-func (s *Scheduler) Stats() Stats {
-	var st Stats
-	for _, e := range s.log {
-		switch e.Kind {
-		case EventSubmit:
-			st.Submitted++
-		case EventTerminate:
-			st.Completed++
-		case EventFail:
-			st.Failed++
-		case EventRollback:
-			st.RolledBack++
-		case EventAbort:
-			st.Aborted++
-		case EventRetry:
-			st.Retried++
-		case EventTimeout:
-			st.TimedOut++
-		}
-	}
-	return st
-}
+// Stats returns outcome counts (maintained incrementally as events are
+// logged).
+func (s *Scheduler) Stats() Stats { return s.stats }

@@ -135,16 +135,17 @@ func NewJudge(cluster *hdfs.Cluster, th Thresholds) *Judge {
 		j.predictor = NewPredictor(0, 0)
 	}
 	j.engine = cep.New(func() time.Duration { return cluster.Engine().Now() })
+	j.engine.SetTracer(cluster.Tracer())
 	w := fmt.Sprintf("%d s", int(th.Window.Seconds()))
 	j.fileStmt = j.engine.MustCompile(
 		"select path, count(*) as cnt from Access.win:time(" + w + ") " +
-			"where cmd = 'open' group by path")
+			"where cmd = 'open' group by path").SetLabel("files")
 	j.blockStmt = j.engine.MustCompile(
 		"select path, block, count(*) as cnt from BlockAccess.win:time(" + w + ") " +
-			"group by path, block")
+			"group by path, block").SetLabel("blocks")
 	j.dnStmt = j.engine.MustCompile(
 		"select datanode, count(*) as cnt from BlockAccess.win:time(" + w + ") " +
-			"group by datanode")
+			"group by datanode").SetLabel("datanodes")
 
 	// The paper's log parser: audit records become CEP events.
 	cluster.Audit().Subscribe(func(r auditlog.Record) {

@@ -38,6 +38,10 @@ type Config struct {
 	// Scrub, when Period > 0, starts the cluster's background corruption
 	// scrubber alongside the manager.
 	Scrub hdfs.ScrubConfig
+	// Registry receives the manager's counters (and the judge's and the
+	// scheduler's). Nil makes the manager create a private registry, so
+	// direct construction in tests keeps working unchanged.
+	Registry *metrics.Registry
 }
 
 // Stats counts manager activity.
@@ -83,12 +87,41 @@ type Manager struct {
 	// corruptPending marks blocks whose damage came from a detected
 	// corrupt replica, so their eventual repair counts as CorruptFixed.
 	corruptPending map[hdfs.BlockID]bool
-	ttr            metrics.Sample
 	rescanArmed    bool
 	scrubStop      func()
 	history        []Decision
-	stats          Stats
 	ticker         interface{ Stop() }
+
+	// Activity counters live in the metrics registry; Stats() assembles
+	// the legacy snapshot struct from them.
+	reg *metrics.Registry
+	ctr managerCounters
+	ttr *metrics.Histogram
+}
+
+// managerCounters holds the registry-backed counters that replaced the
+// old ad-hoc Stats fields.
+type managerCounters struct {
+	decisions, increases, decreases, encodes, decodes *metrics.Counter
+	commissions, shutdowns, repairs, failedJobs       *metrics.Counter
+	repairsRetried, corruptFound, corruptFixed        *metrics.Counter
+}
+
+func newManagerCounters(r *metrics.Registry) managerCounters {
+	return managerCounters{
+		decisions:      r.Counter("erms_decisions_total"),
+		increases:      r.Counter("erms_increases_total"),
+		decreases:      r.Counter("erms_decreases_total"),
+		encodes:        r.Counter("erms_encodes_total"),
+		decodes:        r.Counter("erms_decodes_total"),
+		commissions:    r.Counter("erms_commissions_total"),
+		shutdowns:      r.Counter("erms_shutdowns_total"),
+		repairs:        r.Counter("erms_repairs_total"),
+		failedJobs:     r.Counter("erms_failed_jobs_total"),
+		repairsRetried: r.Counter("erms_repairs_retried_total"),
+		corruptFound:   r.Counter("erms_corrupt_found_total"),
+		corruptFixed:   r.Counter("erms_corrupt_fixed_total"),
+	}
 }
 
 // New attaches ERMS to a cluster. It installs the Algorithm 1 placement
@@ -110,6 +143,9 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 	if cfg.RepairRescanDelay <= 0 {
 		cfg.RepairRescanDelay = 30 * time.Second
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
 	m := &Manager{
 		cluster:        cluster,
 		cfg:            cfg,
@@ -118,7 +154,11 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 		repairing:      map[hdfs.BlockID]bool{},
 		repairStart:    map[hdfs.BlockID]time.Duration{},
 		corruptPending: map[hdfs.BlockID]bool{},
+		reg:            cfg.Registry,
 	}
+	m.ctr = newManagerCounters(m.reg)
+	m.ttr = m.reg.Histogram("erms_time_to_repair_seconds")
+	m.reg.GaugeFunc("erms_stale_nodes", func() float64 { return float64(len(cluster.StaleNodes())) })
 	if len(cfg.StandbyPool) > 0 {
 		for _, id := range cfg.StandbyPool {
 			m.pool[id] = true
@@ -129,6 +169,7 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 		}
 	}
 	m.judge = NewJudge(cluster, cfg.Thresholds)
+	m.judge.CEP().RegisterMetrics(m.reg)
 	cluster.SetPlacementPolicy(NewPlacement(func(id hdfs.DatanodeID) bool { return m.pool[id] }))
 
 	m.sched = condor.New(cluster.Engine(), condor.Config{
@@ -137,6 +178,8 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 		// when the HDFS cluster is idle."
 		IdleProbe: func() bool { return cluster.ActiveReads() == 0 },
 	})
+	m.sched.SetTracer(cluster.Tracer())
+	m.sched.RegisterMetrics(m.reg)
 	for _, d := range cluster.Datanodes() {
 		m.sched.Advertise(d.Name, m.machineAd(d), 2)
 	}
@@ -159,7 +202,7 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 	// Detected corruption quarantines a replica; route the re-replication
 	// through the same Condor repair path and tag it for CorruptFixed.
 	cluster.OnCorruptReplica(func(bid hdfs.BlockID, _ hdfs.DatanodeID) {
-		m.stats.CorruptFound++
+		m.ctr.corruptFound.Inc()
 		m.corruptPending[bid] = true
 		m.scheduleRepairs()
 	})
@@ -201,7 +244,7 @@ func (m *Manager) scheduleRepairs() {
 			continue // unrecoverable without erasure protection
 		}
 		m.repairing[bid] = true
-		m.stats.Repairs++
+		m.ctr.repairs.Inc()
 		if _, ok := m.repairStart[bid]; !ok {
 			m.repairStart[bid] = m.cluster.Engine().Now()
 		}
@@ -212,7 +255,7 @@ func (m *Manager) scheduleRepairs() {
 			Retry: m.cfg.RepairRetry,
 			Run: func(_ *condor.Machine, done func(error)) {
 				if job.Attempt > 1 {
-					m.stats.RepairsRetried++
+					m.ctr.repairsRetried.Inc()
 				}
 				// Re-read the damage each attempt: a retry may find the
 				// block already healed (restarted node) or newly lost.
@@ -260,12 +303,12 @@ func (m *Manager) scheduleRepairs() {
 						delete(m.repairStart, bid)
 					}
 					if m.corruptPending[bid] {
-						m.stats.CorruptFixed++
+						m.ctr.corruptFixed.Inc()
 						delete(m.corruptPending, bid)
 					}
 					return
 				}
-				m.stats.FailedJobs++
+				m.ctr.failedJobs.Inc()
 				delete(m.repairStart, bid)
 				// The block is still damaged; re-arm the sweep so a later
 				// pass retries fresh once the cluster may have healed.
@@ -302,14 +345,32 @@ func (m *Manager) Judge() *Judge { return m.judge }
 // management task for replay).
 func (m *Manager) Scheduler() *condor.Scheduler { return m.sched }
 
+// Registry returns the metrics registry the manager's counters live in —
+// the one passed via Config, or the private one created in its absence.
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
 // Stats returns activity counters, with the derived fields (stale-node
-// count, time-to-repair quantiles) computed as of now.
+// count, time-to-repair quantiles) computed as of now. The counts are
+// assembled from the registry-backed counters that replaced the old
+// struct fields.
 func (m *Manager) Stats() Stats {
-	st := m.stats
-	st.StaleNodes = len(m.cluster.StaleNodes())
-	st.TimeToRepairP50 = m.ttr.Quantile(0.50)
-	st.TimeToRepairP99 = m.ttr.Quantile(0.99)
-	return st
+	return Stats{
+		Decisions:       m.ctr.decisions.Int(),
+		Increases:       m.ctr.increases.Int(),
+		Decreases:       m.ctr.decreases.Int(),
+		Encodes:         m.ctr.encodes.Int(),
+		Decodes:         m.ctr.decodes.Int(),
+		Commissions:     m.ctr.commissions.Int(),
+		Shutdowns:       m.ctr.shutdowns.Int(),
+		Repairs:         m.ctr.repairs.Int(),
+		FailedJobs:      m.ctr.failedJobs.Int(),
+		RepairsRetried:  m.ctr.repairsRetried.Int(),
+		CorruptFound:    m.ctr.corruptFound.Int(),
+		CorruptFixed:    m.ctr.corruptFixed.Int(),
+		StaleNodes:      len(m.cluster.StaleNodes()),
+		TimeToRepairP50: m.ttr.Quantile(0.50),
+		TimeToRepairP99: m.ttr.Quantile(0.99),
+	}
 }
 
 // History returns every decision acted upon.
@@ -329,9 +390,15 @@ func (m *Manager) Stop() {
 }
 
 // RunJudgeOnce evaluates the judge and schedules jobs for its decisions.
-// It is called by the ticker but exposed for tests and tools.
+// It is called by the ticker but exposed for tests and tools. With
+// tracing enabled the whole pass — CEP evaluation, decisions, job
+// submissions, repair sweep — is one "judge.pass" span.
 func (m *Manager) RunJudgeOnce() {
+	tr := m.cluster.Tracer()
+	sp := tr.Begin("judge.pass", tr.Current())
+	prev := tr.Push(sp)
 	decisions := m.judge.Evaluate()
+	tr.SetAttrInt(sp, "decisions", int64(len(decisions)))
 	for _, d := range decisions {
 		if m.inFlight[d.Path] {
 			continue
@@ -341,17 +408,19 @@ func (m *Manager) RunJudgeOnce() {
 	// Each pass also sweeps for damage that arrived without a failure
 	// notification (e.g. repairs that themselves failed).
 	m.scheduleRepairs()
+	tr.Pop(prev)
+	tr.End(sp)
 }
 
 // act converts one decision into a Condor job.
 func (m *Manager) act(d Decision) {
 	m.history = append(m.history, d)
-	m.stats.Decisions++
+	m.ctr.decisions.Inc()
 	path := d.Path
 	var job *condor.Job
 	switch d.Action {
 	case ActionIncrease:
-		m.stats.Increases++
+		m.ctr.increases.Inc()
 		need := d.TargetRepl - m.cluster.ReplicationOf(path)
 		if !m.cfg.DisableAutoCommission {
 			m.commissionFor(need)
@@ -373,7 +442,7 @@ func (m *Manager) act(d Decision) {
 			},
 		}
 	case ActionDecrease:
-		m.stats.Decreases++
+		m.ctr.decreases.Inc()
 		job = &condor.Job{
 			Name:  fmt.Sprintf("shrink:%s:r%d", path, d.TargetRepl),
 			Class: condor.ClassIdle,
@@ -382,7 +451,7 @@ func (m *Manager) act(d Decision) {
 			},
 		}
 	case ActionEncode:
-		m.stats.Encodes++
+		m.ctr.encodes.Inc()
 		k := m.cfg.Thresholds.EncodeK
 		if f := m.cluster.File(path); f != nil && len(f.Blocks) < k {
 			k = len(f.Blocks)
@@ -399,7 +468,7 @@ func (m *Manager) act(d Decision) {
 			Rollback: func() { _ = m.cluster.CancelEncoding(path) },
 		}
 	case ActionDecode:
-		m.stats.Decodes++
+		m.ctr.decodes.Inc()
 		job = &condor.Job{
 			Name:  fmt.Sprintf("decode:%s:r%d", path, d.TargetRepl),
 			Class: condor.ClassImmediate,
@@ -421,9 +490,22 @@ func (m *Manager) act(d Decision) {
 	job.Notify = func(j *condor.Job) {
 		delete(m.inFlight, path)
 		if j.State != condor.StateCompleted {
-			m.stats.FailedJobs++
+			m.ctr.failedJobs.Inc()
 		}
 		m.afterJob(d)
+	}
+	// The decision instant links the judge pass to the Condor job: the
+	// job span submitted under it parents there, so one hot file's chain
+	// (audit burst → verdict → job → transfers) is a single tree.
+	tr := m.cluster.Tracer()
+	if tr.Enabled() {
+		dsp := tr.Instant("judge.decision", tr.Current())
+		tr.SetAttr(dsp, "path", path)
+		tr.SetAttr(dsp, "action", d.Action.String())
+		tr.SetAttrInt(dsp, "target", int64(d.TargetRepl))
+		tr.SetAttrInt(dsp, "formula", int64(d.Formula))
+		prev := tr.Push(dsp)
+		defer tr.Pop(prev)
 	}
 	m.sched.Submit(job)
 }
@@ -449,7 +531,7 @@ func (m *Manager) commissionFor(need int) {
 		}
 		if m.pool[d.ID] && d.State == hdfs.StateStandby {
 			m.cluster.Commission(d.ID)
-			m.stats.Commissions++
+			m.ctr.commissions.Inc()
 			need--
 		}
 	}
@@ -463,7 +545,7 @@ func (m *Manager) shutdownDrained() {
 	for _, d := range m.cluster.Datanodes() {
 		if m.pool[d.ID] && d.State == hdfs.StateActive && d.NumBlocks() == 0 {
 			m.cluster.ToStandby(d.ID)
-			m.stats.Shutdowns++
+			m.ctr.shutdowns.Inc()
 		}
 	}
 }

@@ -17,6 +17,24 @@ import (
 // the parities from it to their targets, so it costs real cluster
 // bandwidth; done(err) fires when the file is fully converted.
 func (c *Cluster) EncodeFile(path string, k, m int, done func(error)) {
+	if c.tracer.Enabled() {
+		sp := c.tracer.Begin("hdfs.encode", c.tracer.Current())
+		c.tracer.SetAttr(sp, "path", path)
+		c.tracer.SetAttrInt(sp, "k", int64(k))
+		c.tracer.SetAttrInt(sp, "m", int64(m))
+		inner := done
+		done = func(err error) {
+			if err != nil {
+				c.tracer.SetAttr(sp, "error", err.Error())
+			}
+			c.tracer.End(sp)
+			if inner != nil {
+				inner(err)
+			}
+		}
+		prev := c.tracer.Push(sp)
+		defer c.tracer.Pop(prev)
+	}
 	f := c.files[path]
 	if f == nil {
 		c.finish(done, fmt.Errorf("hdfs: no such file %q", path))
@@ -420,6 +438,22 @@ func (c *Cluster) CancelEncoding(path string) error {
 // DecodeFile restores an encoded file to plain replication n: every block
 // is re-replicated to n and the parities are dropped.
 func (c *Cluster) DecodeFile(path string, n int, done func(error)) {
+	if c.tracer.Enabled() {
+		sp := c.tracer.Begin("hdfs.decode", c.tracer.Current())
+		c.tracer.SetAttr(sp, "path", path)
+		inner := done
+		done = func(err error) {
+			if err != nil {
+				c.tracer.SetAttr(sp, "error", err.Error())
+			}
+			c.tracer.End(sp)
+			if inner != nil {
+				inner(err)
+			}
+		}
+		prev := c.tracer.Push(sp)
+		defer c.tracer.Pop(prev)
+	}
 	f := c.files[path]
 	if f == nil {
 		c.finish(done, fmt.Errorf("hdfs: no such file %q", path))

@@ -17,9 +17,11 @@ import (
 	"time"
 
 	"erms/internal/auditlog"
+	"erms/internal/metrics"
 	"erms/internal/netsim"
 	"erms/internal/sim"
 	"erms/internal/topology"
+	"erms/internal/trace"
 )
 
 // BlockID identifies a block cluster-wide.
@@ -322,6 +324,10 @@ type Cluster struct {
 	onDeadNode  []func(DatanodeID)
 	onNodeUp    []func(DatanodeID)
 	onCorrupt   []func(BlockID, DatanodeID)
+
+	// tracer records hdfs.* spans (reads, replica copies, encode/decode,
+	// commission/standby instants); nil disables tracing.
+	tracer *trace.Tracer
 }
 
 // New builds a cluster with one datanode per topology node.
@@ -386,6 +392,44 @@ func (c *Cluster) Audit() *auditlog.Log { return c.audit }
 
 // Metrics returns a snapshot of the counters.
 func (c *Cluster) Metrics() Metrics { return c.metrics }
+
+// SetTracer installs a span tracer on the cluster and its network fabric.
+// Call it before wiring consumers (the ERMS manager reads it via Tracer).
+// Nil disables tracing with zero overhead.
+func (c *Cluster) SetTracer(tr *trace.Tracer) {
+	c.tracer = tr
+	c.fabric.SetTracer(tr)
+}
+
+// Tracer returns the installed tracer (nil when tracing is disabled).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
+
+// RegisterMetrics registers the cluster's counters (and the fabric's)
+// into a metrics registry as snapshot-time gauges.
+func (c *Cluster) RegisterMetrics(r *metrics.Registry) {
+	m := &c.metrics
+	r.GaugeFunc("hdfs_reads_started_total", func() float64 { return float64(m.ReadsStarted) })
+	r.GaugeFunc("hdfs_reads_completed_total", func() float64 { return float64(m.ReadsCompleted) })
+	r.GaugeFunc("hdfs_reads_failed_total", func() float64 { return float64(m.ReadsFailed) })
+	r.GaugeFunc("hdfs_bytes_read_total", func() float64 { return m.BytesRead })
+	r.GaugeFunc("hdfs_block_reads_total", func() float64 { return float64(m.BlockReads) })
+	r.GaugeFunc("hdfs_node_local_reads_total", func() float64 { return float64(m.NodeLocalReads) })
+	r.GaugeFunc("hdfs_rack_local_reads_total", func() float64 { return float64(m.RackLocalReads) })
+	r.GaugeFunc("hdfs_remote_reads_total", func() float64 { return float64(m.RemoteReads) })
+	r.GaugeFunc("hdfs_replicas_added_total", func() float64 { return float64(m.ReplicasAdded) })
+	r.GaugeFunc("hdfs_replicas_removed_total", func() float64 { return float64(m.ReplicasRemoved) })
+	r.GaugeFunc("hdfs_replication_mb_total", func() float64 { return m.ReplicationMB })
+	r.GaugeFunc("hdfs_files_encoded_total", func() float64 { return float64(m.FilesEncoded) })
+	r.GaugeFunc("hdfs_blocks_rebuilt_total", func() float64 { return float64(m.BlocksRebuilt) })
+	r.GaugeFunc("hdfs_checksum_failures_total", func() float64 { return float64(m.ChecksumFailures) })
+	r.GaugeFunc("hdfs_corrupt_detected_total", func() float64 { return float64(m.CorruptDetected) })
+	r.GaugeFunc("hdfs_active_reads", func() float64 { return float64(c.activeReads) })
+	r.GaugeFunc("hdfs_files", func() float64 { return float64(len(c.files)) })
+	r.GaugeFunc("hdfs_bytes_stored", c.TotalUsed)
+	r.GaugeFunc("hdfs_active_nodes", func() float64 { return float64(len(c.Active())) })
+	r.GaugeFunc("hdfs_standby_nodes", func() float64 { return float64(len(c.Standby())) })
+	c.fabric.RegisterMetrics(r)
+}
 
 // SetPlacementPolicy installs a pluggable replica placement policy (the
 // paper: "we implement a pluggable replica placement strategy for HDFS").

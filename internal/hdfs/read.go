@@ -91,6 +91,8 @@ func (c *Cluster) ReadFileAt(client topology.NodeID, path string, start int, don
 		}
 		return
 	}
+	span := c.tracer.Begin("hdfs.read", c.tracer.Current())
+	c.tracer.SetAttr(span, "path", path)
 	c.audit.Append(auditlog.Record{
 		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
 		IP: c.clientIP(client), Cmd: auditlog.CmdOpen, Src: path,
@@ -112,17 +114,21 @@ func (c *Cluster) ReadFileAt(client topology.NodeID, path string, start int, don
 			c.activeReads--
 			c.metrics.ReadsCompleted++
 			c.metrics.BytesRead += res.Bytes
+			c.tracer.End(span)
 			if done != nil {
 				done(res)
 			}
 			return
 		}
+		prev := c.tracer.Push(span)
 		c.readBlock(client, blocks[i], 0, func(bytes float64, loc Locality, err error) {
 			if err != nil {
 				res.Err = err
 				res.End = c.engine.Now()
 				c.activeReads--
 				c.metrics.ReadsFailed++
+				c.tracer.SetAttr(span, "error", "read failed")
+				c.tracer.End(span)
 				if done != nil {
 					done(res)
 				}
@@ -139,6 +145,7 @@ func (c *Cluster) ReadFileAt(client topology.NodeID, path string, start int, don
 			}
 			step(i + 1)
 		})
+		c.tracer.Pop(prev)
 	}
 	step(0)
 }
@@ -217,16 +224,26 @@ func (c *Cluster) selectReplica(client topology.NodeID, id BlockID, exclude map[
 }
 
 func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, done func(float64, Locality, error)) {
+	sp := c.tracer.Begin("hdfs.block_read", c.tracer.Current())
+	c.tracer.SetAttrInt(sp, "block", int64(id))
+	if attempt > 0 {
+		c.tracer.SetAttrInt(sp, "attempt", int64(attempt))
+	}
 	b := c.blocks[id]
 	if b == nil {
+		c.tracer.SetAttr(sp, "error", "no such block")
+		c.tracer.End(sp)
 		done(0, Remote, fmt.Errorf("hdfs: no such block %d", id))
 		return
 	}
 	src, loc, ok := c.selectReplica(client, id, nil)
 	if !ok {
+		c.tracer.SetAttr(sp, "error", "no live replica")
+		c.tracer.End(sp)
 		done(0, Remote, fmt.Errorf("hdfs: block %d of %q has no live replica", id, b.File))
 		return
 	}
+	c.tracer.SetAttrInt(sp, "datanode", int64(src))
 	d := c.datanodes[src]
 	retry := func() {
 		if attempt+1 >= maxReadRetries {
@@ -258,6 +275,7 @@ func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, don
 		} else {
 			path = c.topo.ReadPath(topology.NodeID(src), client)
 		}
+		prev := c.tracer.Push(sp)
 		flow := c.fabric.StartFlow(path, b.Size, 0, func(f *netsim.Flow) {
 			delete(d.activeFlows, f)
 			c.release(d)
@@ -267,17 +285,27 @@ func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, don
 			if d.corrupt[id] {
 				c.metrics.ChecksumFailures++
 				c.reportCorrupt(b, src)
+				c.tracer.SetAttr(sp, "error", "checksum")
+				c.tracer.End(sp)
 				retry()
 				return
 			}
+			c.tracer.End(sp)
 			done(b.Size, loc, nil)
 		})
+		c.tracer.Pop(prev)
 		// Register an abort handler so that if the serving node dies the
 		// read retries on another replica (the killer cancels the flow and
 		// invokes this).
 		d.activeFlows[flow] = &flowHandle{peer: client, abort: func() {
 			c.release(d)
+			c.tracer.SetAttr(sp, "error", "aborted")
+			c.tracer.End(sp)
 			retry()
 		}}
-	}, retry)
+	}, func() {
+		c.tracer.SetAttr(sp, "error", "admission aborted")
+		c.tracer.End(sp)
+		retry()
+	})
 }

@@ -60,26 +60,37 @@ func less3(a, b [3]int) bool {
 // AddReplica copies block id onto target, calling done(err) when the
 // transfer lands. The copy streams disk-to-disk over the fabric.
 func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
+	parentSpan := c.tracer.Current()
+	sp := c.tracer.Begin("hdfs.replica_add", parentSpan)
+	c.tracer.SetAttrInt(sp, "block", int64(id))
+	c.tracer.SetAttrInt(sp, "target", int64(target))
+	fail := func(err error) {
+		if c.tracer.Enabled() {
+			c.tracer.SetAttr(sp, "error", err.Error())
+			c.tracer.End(sp)
+		}
+		c.finish(done, err)
+	}
 	b := c.blocks[id]
 	if b == nil {
-		c.finish(done, fmt.Errorf("hdfs: no such block %d", id))
+		fail(fmt.Errorf("hdfs: no such block %d", id))
 		return
 	}
 	td := c.datanodes[target]
 	if td.State == StateDown || td.crashed {
-		c.finish(done, fmt.Errorf("hdfs: target %s is down", td.Name))
+		fail(fmt.Errorf("hdfs: target %s is down", td.Name))
 		return
 	}
 	if c.NodeUnreachable(target) {
-		c.finish(done, fmt.Errorf("hdfs: target %s is unreachable (partitioned)", td.Name))
+		fail(fmt.Errorf("hdfs: target %s is unreachable (partitioned)", td.Name))
 		return
 	}
 	if td.HasBlock(id) {
-		c.finish(done, fmt.Errorf("hdfs: %s already holds block %d", td.Name, id))
+		fail(fmt.Errorf("hdfs: %s already holds block %d", td.Name, id))
 		return
 	}
 	if td.UncommittedFree() < b.Size {
-		c.finish(done, fmt.Errorf("hdfs: %s is out of space", td.Name))
+		fail(fmt.Errorf("hdfs: %s is out of space", td.Name))
 		return
 	}
 	// The transfer starts after the command reaches the datanode on its
@@ -98,42 +109,51 @@ func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
 	c.engine.Schedule(c.cfg.ReplCommandLatency, func() {
 		if td.State == StateDown || td.crashed || c.NodeUnreachable(target) {
 			settle()
-			c.finish(done, fmt.Errorf("hdfs: target %s died before copy", td.Name))
+			fail(fmt.Errorf("hdfs: target %s died before copy", td.Name))
 			return
 		}
 		if td.HasBlock(id) {
 			settle()
+			c.tracer.End(sp)
 			c.finish(done, nil)
 			return
 		}
 		src, ok := c.chooseSource(id, target, false)
 		if !ok {
 			settle()
-			c.finish(done, fmt.Errorf("hdfs: no live source for block %d", id))
+			fail(fmt.Errorf("hdfs: no live source for block %d", id))
 			return
 		}
 		sd := c.datanodes[src]
 		sd.xferOut++
+		c.tracer.SetAttrInt(sp, "source", int64(src))
 		path := c.topo.TransferPath(topology.NodeID(src), topology.NodeID(target))
+		prev := c.tracer.Push(sp)
 		flow := c.fabric.StartFlow(path, b.Size, 0, func(f *netsim.Flow) {
 			delete(sd.activeFlows, f)
 			sd.xferOut--
 			settle()
 			if td.State == StateDown || td.crashed {
-				c.finish(done, fmt.Errorf("hdfs: target %s died during copy", td.Name))
+				fail(fmt.Errorf("hdfs: target %s died during copy", td.Name))
 				return
 			}
 			c.attachReplica(b, target)
 			c.metrics.ReplicasAdded++
 			c.metrics.ReplicationMB += b.Size / topology.MB
+			c.tracer.End(sp)
 			c.finish(done, nil)
 		})
+		c.tracer.Pop(prev)
 		// Source death (or a partition cutting the transfer) mid-copy
 		// retries from another source.
 		sd.activeFlows[flow] = &flowHandle{peer: topology.NodeID(target), abort: func() {
 			sd.xferOut--
 			settle()
+			c.tracer.SetAttr(sp, "error", "copy aborted; retrying")
+			c.tracer.End(sp)
+			p := c.tracer.Push(parentSpan)
 			c.AddReplica(id, target, done)
+			c.tracer.Pop(p)
 		}}
 	})
 }
@@ -191,6 +211,23 @@ func (m ReplicationMode) String() string {
 // target. Placement uses the installed policy; removals consult
 // ChooseExcess.
 func (c *Cluster) SetReplication(path string, n int, mode ReplicationMode, done func(error)) {
+	if c.tracer.Enabled() {
+		sp := c.tracer.Begin("hdfs.set_replication", c.tracer.Current())
+		c.tracer.SetAttr(sp, "path", path)
+		c.tracer.SetAttrInt(sp, "target", int64(n))
+		inner := done
+		done = func(err error) {
+			if err != nil {
+				c.tracer.SetAttr(sp, "error", err.Error())
+			}
+			c.tracer.End(sp)
+			if inner != nil {
+				inner(err)
+			}
+		}
+		prev := c.tracer.Push(sp)
+		defer c.tracer.Pop(prev)
+	}
 	f := c.files[path]
 	if f == nil {
 		c.finish(done, fmt.Errorf("hdfs: no such file %q", path))
@@ -234,8 +271,14 @@ func (c *Cluster) SetReplication(path string, n int, mode ReplicationMode, done 
 
 // grow raises every block of f to n replicas.
 func (c *Cluster) grow(f *INode, n int, mode ReplicationMode, done func(error)) {
+	// Capture the ambient span (the set_replication span when tracing) so
+	// one-by-one rounds launched from completion callbacks still parent
+	// their copies correctly.
+	ambient := c.tracer.Current()
 	var step func(round int)
 	copyRound := func(target int, next func(error)) {
+		prev := c.tracer.Push(ambient)
+		defer c.tracer.Pop(prev)
 		// One round: bring every block up to `target` replicas, all copies
 		// in flight concurrently.
 		outstanding := 0

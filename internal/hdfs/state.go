@@ -46,6 +46,9 @@ func (c *Cluster) Commission(id DatanodeID) {
 	d.State = StateActive
 	d.activeSince = c.engine.Now()
 	d.lastHeartbeat = c.engine.Now()
+	if sp := c.tracer.Instant("hdfs.commission", c.tracer.Current()); sp != 0 {
+		c.tracer.SetAttr(sp, "node", d.Name)
+	}
 	for len(d.waiting) > 0 && d.sessions < d.MaxSessions {
 		p := d.waiting[0]
 		d.waiting = d.waiting[1:]
@@ -71,6 +74,9 @@ func (c *Cluster) ToStandby(id DatanodeID) {
 	}
 	d.ActiveTime += c.engine.Now() - d.activeSince
 	d.State = StateStandby
+	if sp := c.tracer.Instant("hdfs.standby", c.tracer.Current()); sp != 0 {
+		c.tracer.SetAttr(sp, "node", d.Name)
+	}
 	c.abortServing(d)
 	c.abortWaiting(d)
 }

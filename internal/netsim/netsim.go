@@ -15,8 +15,10 @@ import (
 	"sort"
 	"time"
 
+	"erms/internal/metrics"
 	"erms/internal/sim"
 	"erms/internal/topology"
+	"erms/internal/trace"
 )
 
 // Flow is one in-flight transfer.
@@ -31,7 +33,11 @@ type Flow struct {
 	fabric    *Fabric
 	done      bool
 	canceled  bool
+	span      trace.SpanID // "net.flow" span, 0 when tracing is off
 }
+
+// Span returns the flow's trace span ID (0 when tracing is disabled).
+func (f *Flow) Span() trace.SpanID { return f.span }
 
 // ID returns the flow's unique identifier.
 func (f *Flow) ID() int64 { return f.id }
@@ -71,6 +77,21 @@ type Fabric struct {
 	baseCap []float64
 	// factor is the current degradation multiplier per link (1 = healthy).
 	factor []float64
+	// tracer records a "net.flow" span per transfer; nil disables tracing.
+	tracer *trace.Tracer
+}
+
+// SetTracer installs a span tracer: each admitted flow records a
+// "net.flow" span under the ambient span, closed when the last byte lands
+// (or marked canceled on Cancel). Nil disables tracing.
+func (fb *Fabric) SetTracer(tr *trace.Tracer) { fb.tracer = tr }
+
+// RegisterMetrics registers the fabric's transfer accounting into a
+// metrics registry.
+func (fb *Fabric) RegisterMetrics(r *metrics.Registry) {
+	r.GaugeFunc("net_bytes_moved_total", func() float64 { return fb.BytesMoved })
+	r.GaugeFunc("net_active_flows", func() float64 { return float64(len(fb.flows)) })
+	r.GaugeFunc("net_flows_admitted_total", func() float64 { return float64(fb.nextID) })
 }
 
 // New creates a fabric over the topology's link table.
@@ -163,6 +184,10 @@ func (fb *Fabric) StartFlow(path []topology.LinkID, bytes float64, maxRate float
 	}
 	fb.nextID++
 	fb.flows[f.id] = f
+	if tr := fb.tracer; tr.Enabled() {
+		f.span = tr.Begin("net.flow", tr.Current())
+		tr.SetAttrInt(f.span, "bytes", int64(bytes))
+	}
 	fb.reallocate()
 	return f
 }
@@ -176,6 +201,8 @@ func (fb *Fabric) Cancel(f *Flow) {
 	fb.settle()
 	f.canceled = true
 	delete(fb.flows, f.id)
+	fb.tracer.SetAttr(f.span, "canceled", "true")
+	fb.tracer.End(f.span)
 	fb.reallocate()
 }
 
@@ -285,6 +312,7 @@ func (fb *Fabric) completeDue() {
 		f.remaining = 0
 		f.done = true
 		delete(fb.flows, f.id)
+		fb.tracer.End(f.span)
 	}
 	fb.reallocate()
 	for _, f := range finished {
