@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, durability, trace, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, durability, trace, scale, all")
 	seed := flag.Int64("seed", 1, "workload seed")
 	full := flag.Bool("full", false, "paper-scale runs (slower) instead of quick scale")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the series figures (4, 5)")
@@ -156,6 +156,16 @@ func main() {
 			cfg.Corruptions = 20
 		}
 		fmt.Println(experiments.DurabilityTable(experiments.Durability(cfg)))
+	}
+	// The scale sweep runs only when asked for by name: its 1,000-node /
+	// 1M-file point is deliberately heavy and would dominate `-fig all`.
+	if strings.EqualFold(*fig, "scale") {
+		ran = true
+		cfg := experiments.ScaleConfig{Seed: *seed}
+		if *full {
+			cfg.Reads = 50000
+		}
+		fmt.Println(experiments.ScaleTable(experiments.ScaleDemo(cfg)))
 	}
 	if want("trace") {
 		ran = true

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -22,24 +23,36 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("swimgen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command: parse args, generate or inspect, write to
+// stdout. Kept separate from main so tests can drive it in-process and
+// assert that equal flags produce byte-identical output.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("swimgen", flag.ContinueOnError)
 	var (
-		seed     = flag.Int64("seed", 1, "random seed")
-		duration = flag.Duration("duration", 2*time.Hour, "trace length")
-		files    = flag.Int("files", 40, "file catalog size")
-		interarr = flag.Duration("interarrival", 20*time.Second, "mean job inter-arrival")
-		halfLife = flag.Duration("halflife", 90*time.Minute, "popularity half-life")
-		format   = flag.String("format", "json", "output format: json or csv")
-		inspect  = flag.String("inspect", "", "summarize an existing trace file (.json or .csv) instead of generating")
+		seed     = fs.Int64("seed", 1, "random seed")
+		duration = fs.Duration("duration", 2*time.Hour, "trace length")
+		files    = fs.Int("files", 40, "file catalog size")
+		interarr = fs.Duration("interarrival", 20*time.Second, "mean job inter-arrival")
+		halfLife = fs.Duration("halflife", 90*time.Minute, "popularity half-life")
+		format   = fs.String("format", "json", "output format: json or csv")
+		inspect  = fs.String("inspect", "", "summarize an existing trace file (.json or .csv) instead of generating")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *inspect != "" {
 		tr, err := loadTrace(*inspect)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		summarize(tr)
-		return
+		summarize(tr, stdout)
+		return nil
 	}
 
 	tr := workload.Synthesize(workload.Config{
@@ -49,17 +62,13 @@ func main() {
 		MeanInterarrival:   *interarr,
 		PopularityHalfLife: *halfLife,
 	})
-	var err error
 	switch *format {
 	case "json":
-		err = tr.WriteJSON(os.Stdout)
+		return tr.WriteJSON(stdout)
 	case "csv":
-		err = tr.WriteCSV(os.Stdout)
+		return tr.WriteCSV(stdout)
 	default:
-		err = fmt.Errorf("unknown format %q", *format)
-	}
-	if err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("unknown format %q", *format)
 	}
 }
 
@@ -75,18 +84,18 @@ func loadTrace(path string) (*workload.Trace, error) {
 	return workload.ReadJSON(f)
 }
 
-func summarize(tr *workload.Trace) {
-	fmt.Printf("seed      %d\n", tr.Seed)
-	fmt.Printf("duration  %v\n", tr.Duration)
-	fmt.Printf("files     %d\n", len(tr.Files))
-	fmt.Printf("jobs      %d\n", len(tr.Jobs))
-	fmt.Printf("skew      %.3f (Gini over per-file access counts)\n", tr.GiniSkew())
-	fmt.Println("\ntop files by accesses:")
+func summarize(tr *workload.Trace, w io.Writer) {
+	fmt.Fprintf(w, "seed      %d\n", tr.Seed)
+	fmt.Fprintf(w, "duration  %v\n", tr.Duration)
+	fmt.Fprintf(w, "files     %d\n", len(tr.Files))
+	fmt.Fprintf(w, "jobs      %d\n", len(tr.Jobs))
+	fmt.Fprintf(w, "skew      %.3f (Gini over per-file access counts)\n", tr.GiniSkew())
+	fmt.Fprintln(w, "\ntop files by accesses:")
 	counts := tr.AccessCounts()
 	for i, c := range counts {
 		if i == 10 {
 			break
 		}
-		fmt.Printf("  %-16s %d\n", c.Path, c.Count)
+		fmt.Fprintf(w, "  %-16s %d\n", c.Path, c.Count)
 	}
 }

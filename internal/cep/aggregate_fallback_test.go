@@ -1,0 +1,109 @@
+package cep
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests pin the generic (non-incremental) aggregate evaluator — the
+// reference semantics the incremental fast path must match. Expression
+// arguments and last() are not incrementalizable, so each statement here
+// must take the fallback path.
+
+func TestGenericAggregatesOverExpressions(t *testing.T) {
+	c := &testClock{}
+	e := New(c.clock)
+	st := e.MustCompile("select path, count(bytes + 0) as cb, sum(bytes + 0) as s, " +
+		"avg(bytes + 0) as a, min(bytes + 0) as mn, max(bytes + 0) as mx, " +
+		"first(datanode) as fd, last(datanode) as ld, count(*) as n " +
+		"from Access group by path")
+	if st.Incremental() {
+		t.Fatal("expression-argument aggregates should not incrementalize")
+	}
+	for i, dn := range []string{"dn1", "dn2", "dn3"} {
+		ev := access(time.Duration(i)*time.Second, "/hot", dn)
+		ev.Fields["bytes"] = float64(32 * (i + 1))
+		e.Insert(ev)
+	}
+	rows := st.MustRows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	r := rows[0]
+	if r.Num("cb") != 3 || r.Num("s") != 192 || r.Num("a") != 64 ||
+		r.Num("mn") != 32 || r.Num("mx") != 96 || r.Num("n") != 3 {
+		t.Fatalf("aggregates wrong: %v", r)
+	}
+	if r.Str("fd") != "dn1" || r.Str("ld") != "dn3" {
+		t.Fatalf("first/last wrong: %v", r)
+	}
+}
+
+func TestGenericAggregatesSkipMissingFields(t *testing.T) {
+	c := &testClock{}
+	e := New(c.clock)
+	// order by forces the generic path; the aggregates read the raw field
+	// so a missing value skips the event instead of failing arithmetic.
+	st := e.MustCompile("select path, avg(bytes) as a, min(bytes) as mn, " +
+		"max(bytes) as mx, count(bytes) as cb from Access group by path order by path")
+	if st.Incremental() {
+		t.Fatal("order by should not incrementalize")
+	}
+	ev := access(time.Second, "/gap", "dn1")
+	delete(ev.Fields, "bytes")
+	e.Insert(ev)
+	rows := st.MustRows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// All bytes values were missing: counts are zero and the mean/extrema
+	// are null, not zero or infinity.
+	r := rows[0]
+	if r.Num("cb") != 0 {
+		t.Fatalf("count over missing field = %v", r.Num("cb"))
+	}
+	for _, col := range []string{"a", "mn", "mx"} {
+		if v, ok := r[col]; !ok || v != nil {
+			t.Fatalf("%s over empty group = %v, want nil", col, v)
+		}
+	}
+}
+
+func TestGenericHavingComparisons(t *testing.T) {
+	c := &testClock{}
+	e := New(c.clock)
+	st := e.MustCompile("select path, max(bytes + 0) as mx, min(bytes + 0) as mn " +
+		"from Access group by path " +
+		"having mx >= 64 and mn <= 32 and mx > 63 and mn < 33")
+	for i, path := range []string{"/in", "/in", "/out"} {
+		ev := access(time.Duration(i)*time.Second, path, "dn1")
+		if path == "/in" && i == 1 {
+			ev.Fields["bytes"] = 32.0
+		}
+		e.Insert(ev)
+	}
+	rows := st.MustRows()
+	if len(rows) != 1 || rows[0].Str("path") != "/in" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestGenericAggregateErrors(t *testing.T) {
+	c := &testClock{}
+	e := New(c.clock)
+
+	// Aggregating a non-numeric field is an evaluation error, not a panic
+	// or a silent zero (last() keeps the statement on the generic path).
+	st := e.MustCompile("select last(datanode) as ld, sum(datanode) as s from Access group by path")
+	e.Insert(access(time.Second, "/x", "dn1"))
+	if _, err := st.Rows(); err == nil || !strings.Contains(err.Error(), "non-numeric") {
+		t.Fatalf("sum over strings: %v", err)
+	}
+
+	// An aggregate in a plain per-event statement has no group to fold.
+	agg := &aggExpr{fn: "sum", arg: &fieldExpr{name: "bytes"}}
+	if _, err := agg.eval(&Event{}, nil); err == nil {
+		t.Fatal("aggregate outside grouped evaluation succeeded")
+	}
+}

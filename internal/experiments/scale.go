@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"time"
+
+	"erms/internal/core"
+	"erms/internal/hdfs"
+	"erms/internal/invariant"
+	"erms/internal/metrics"
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+// ScaleConfig drives the scale demonstration: how large a cluster sweep
+// to run and how much work to put through each size.
+type ScaleConfig struct {
+	// Seed drives the Zipf file popularity and client choice.
+	Seed int64
+	// Sizes are the datanode counts to sweep; default {18, 102, 1000}.
+	Sizes []int
+	// FilesPerNode scales the namespace with the cluster; default 1000
+	// (so the 1,000-node point carries 1,000,000 files).
+	FilesPerNode int
+	// Reads is the number of Zipf-distributed file reads per size;
+	// default 20,000.
+	Reads int
+	// Horizon is the virtual time the read workload spans; default 10m.
+	Horizon time.Duration
+}
+
+func (c *ScaleConfig) applyDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{18, 102, 1000}
+	}
+	if c.FilesPerNode <= 0 {
+		c.FilesPerNode = 1000
+	}
+	if c.Reads <= 0 {
+		c.Reads = 20000
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 10 * time.Minute
+	}
+}
+
+// ScaleRow reports one cluster size of the sweep. Each size is run twice
+// with the same seed; Deterministic records whether the two runs produced
+// byte-identical end state (digest over fired events, metrics, and
+// per-node storage), and the timings are from the second run.
+type ScaleRow struct {
+	Nodes      int
+	Files      int
+	Blocks     int
+	BuildSec   float64 // wall seconds to create the namespace
+	RunSec     float64 // wall seconds to run the read workload
+	Events     uint64  // simulator events fired
+	EventsSec  float64 // events per wall second during the run
+	HeapMB     float64 // live heap after the run
+	ReadMBps   float64 // mean per-read throughput
+	Violations int     // invariant oracle failures (must be 0)
+	Digest     uint64
+	Det        bool
+}
+
+// ScaleDemo sweeps cluster sizes up to 1,000 datanodes / 1M files and
+// measures wall time, event rate, and memory — the evidence that the
+// indexed namenode structures, batched event queue, and per-link flow sets
+// hold their budgets. Every run ends with a full invariant sweep, and
+// every size runs twice to prove same-seed determinism survives the scale
+// machinery.
+func ScaleDemo(cfg ScaleConfig) []ScaleRow {
+	cfg.applyDefaults()
+	rows := make([]ScaleRow, 0, len(cfg.Sizes))
+	for _, nodes := range cfg.Sizes {
+		first := runScale(cfg, nodes)
+		second := runScale(cfg, nodes)
+		second.Det = first.Digest == second.Digest
+		rows = append(rows, second)
+	}
+	return rows
+}
+
+// runScale builds one cluster, creates FilesPerNode files per node, runs
+// the Zipf read workload, and measures everything.
+func runScale(cfg ScaleConfig, nodes int) ScaleRow {
+	racks := nodes / 6
+	if racks < 3 {
+		racks = 3
+	}
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{Racks: racks, NodeCount: nodes})
+	c := hdfs.New(e, hdfs.Config{Topology: topo})
+	m := core.New(c, core.Config{JudgePeriod: cfg.Horizon})
+
+	nFiles := nodes * cfg.FilesPerNode
+	bs := c.Config().BlockSize
+
+	buildStart := time.Now()
+	for i := 0; i < nFiles; i++ {
+		path := fmt.Sprintf("/scale/d%03d/f%06d", i%512, i)
+		if _, err := c.CreateFile(path, bs, 3, -1); err != nil {
+			panic(fmt.Sprintf("scale: create %s on %d nodes: %v", path, nodes, err))
+		}
+	}
+	buildSec := time.Since(buildStart).Seconds()
+
+	// Zipf-popular reads from random clients, bulk-scheduled in one batch
+	// insert (the AtBatch fast path this PR adds).
+	rng := sim.NewRand(cfg.Seed)
+	zipf := sim.NewZipf(rng, 1.1, nFiles)
+	items := make([]sim.Timed, 0, cfg.Reads)
+	var readSec float64
+	var readBytes float64
+	reads := 0
+	for i := 0; i < cfg.Reads; i++ {
+		fi := zipf.Draw()
+		path := fmt.Sprintf("/scale/d%03d/f%06d", fi%512, fi)
+		client := topology.NodeID(rng.Intn(nodes))
+		at := time.Duration(rng.Int63n(int64(cfg.Horizon)))
+		items = append(items, sim.Timed{At: at, Fn: func() {
+			c.ReadFile(client, path, func(r *hdfs.ReadResult) {
+				if r.Err == nil {
+					reads++
+					readSec += r.Duration().Seconds()
+					readBytes += r.Bytes
+				}
+			})
+		}})
+	}
+	e.AtBatch(items)
+
+	runStart := time.Now()
+	e.RunUntil(cfg.Horizon + time.Hour) // drain every read, however slow
+	runSec := time.Since(runStart).Seconds()
+	m.Stop()
+
+	viols := invariant.Check(invariant.Target{Cluster: c, Manager: m})
+
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+
+	row := ScaleRow{
+		Nodes:      nodes,
+		Files:      c.Files(),
+		Blocks:     c.LiveBlocks(),
+		BuildSec:   buildSec,
+		RunSec:     runSec,
+		Events:     e.Fired(),
+		HeapMB:     float64(ms.HeapAlloc) / (1 << 20),
+		Violations: len(viols),
+		Digest:     scaleDigest(e, c),
+	}
+	if runSec > 0 {
+		row.EventsSec = float64(e.Fired()) / runSec
+	}
+	if readSec > 0 {
+		row.ReadMBps = readBytes / MB / readSec
+	}
+	_ = reads
+	return row
+}
+
+// scaleDigest folds the run's observable end state — events fired, read
+// and storage counters, and every node's block count and usage — into one
+// FNV-1a value. Two same-seed runs must agree exactly.
+func scaleDigest(e *sim.Engine, c *hdfs.Cluster) uint64 {
+	h := fnv.New64a()
+	put := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(e.Fired())
+	put(uint64(e.Now()))
+	mt := c.Metrics()
+	put(uint64(mt.ReadsStarted))
+	put(uint64(mt.ReadsCompleted))
+	put(uint64(mt.ReadsFailed))
+	put(uint64(mt.BlockReads))
+	put(uint64(mt.NodeLocalReads))
+	put(uint64(mt.RackLocalReads))
+	put(uint64(mt.RemoteReads))
+	put(math.Float64bits(c.TotalUsed()))
+	for _, d := range c.Datanodes() {
+		put(uint64(d.NumBlocks()))
+		put(math.Float64bits(d.Used))
+	}
+	return h.Sum64()
+}
+
+// ScaleTable renders the sweep.
+func ScaleTable(rows []ScaleRow) *metrics.Table {
+	t := &metrics.Table{
+		Title: "Scale: wall time, event rate, and memory vs cluster size (same-seed determinism checked)",
+		Columns: []string{"nodes", "files", "blocks", "build_s", "run_s",
+			"events", "events_per_s", "heap_MB", "read_MBps", "violations", "deterministic"},
+	}
+	for _, r := range rows {
+		t.AddRowValues(r.Nodes, r.Files, r.Blocks, r.BuildSec, r.RunSec,
+			r.Events, r.EventsSec, r.HeapMB, r.ReadMBps, r.Violations, r.Det)
+	}
+	return t
+}

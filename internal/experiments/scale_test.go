@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScaleDemoSmall runs the scale sweep machinery at toy size: every
+// row must be deterministic, violation-free, and carry the requested
+// namespace; the table must render every row.
+func TestScaleDemoSmall(t *testing.T) {
+	cfg := ScaleConfig{
+		Seed:         3,
+		Sizes:        []int{6, 12},
+		FilesPerNode: 4,
+		Reads:        300,
+		Horizon:      5 * time.Minute,
+	}
+	rows := ScaleDemo(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Files != r.Nodes*cfg.FilesPerNode {
+			t.Errorf("%d nodes: %d files, want %d", r.Nodes, r.Files, r.Nodes*cfg.FilesPerNode)
+		}
+		if r.Blocks < r.Files {
+			t.Errorf("%d nodes: %d blocks for %d files", r.Nodes, r.Blocks, r.Files)
+		}
+		if r.Violations != 0 {
+			t.Errorf("%d nodes: %d invariant violations", r.Nodes, r.Violations)
+		}
+		if !r.Det {
+			t.Errorf("%d nodes: same-seed runs diverged (digest %x)", r.Nodes, r.Digest)
+		}
+		if r.Events == 0 || r.Digest == 0 {
+			t.Errorf("%d nodes: empty run (events=%d digest=%x)", r.Nodes, r.Events, r.Digest)
+		}
+	}
+	out := ScaleTable(rows).String()
+	if !strings.Contains(out, "12") || !strings.Contains(out, "true") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+}

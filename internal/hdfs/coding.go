@@ -86,9 +86,9 @@ func (c *Cluster) EncodeFile(path string, k, m int, done func(error)) {
 				Size:   c.cfg.BlockSize,
 				Parity: true,
 				Group:  s,
+				fileID: f.id,
 			}
-			c.nextBlock++
-			c.blocks[pb.ID] = pb
+			c.addBlock(pb)
 			f.Parity = append(f.Parity, pb.ID)
 			targets := c.placement.ChooseTargets(c, pb, 1, -1, exclude)
 			if len(targets) == 0 {
@@ -241,6 +241,7 @@ func (c *Cluster) finishEncode(f *INode, err error, done func(error)) {
 		}
 	}
 	f.Encoded = true
+	c.reassessFile(f)
 	c.metrics.FilesEncoded++
 	c.finish(done, nil)
 }
@@ -267,7 +268,7 @@ func (c *Cluster) defaultKeeper(b *Block, stripeLoad map[DatanodeID]int) (Datano
 // block bid (data or parity). Parity blocks carry their stripe in Group;
 // data blocks derive it from their index.
 func (c *Cluster) stripeOf(f *INode, bid BlockID) (data, parity []BlockID, ok bool) {
-	b := c.blocks[bid]
+	b := c.Block(bid)
 	if b == nil {
 		return nil, nil, false
 	}
@@ -299,12 +300,12 @@ func (c *Cluster) stripeOf(f *INode, bid BlockID) (data, parity []BlockID, ok bo
 // surviving stripe members, placing the rebuilt block on a policy-chosen
 // node. done(err) fires when the block is live again.
 func (c *Cluster) ReconstructBlock(bid BlockID, done func(error)) {
-	b := c.blocks[bid]
+	b := c.Block(bid)
 	if b == nil {
 		c.finish(done, fmt.Errorf("hdfs: no such block %d", bid))
 		return
 	}
-	f := c.files[b.File]
+	f := c.fileOf(b)
 	if f == nil || !f.Encoded {
 		c.finish(done, fmt.Errorf("hdfs: block %d is not erasure-protected", bid))
 		return
@@ -427,8 +428,7 @@ func (c *Cluster) CancelEncoding(path string) error {
 		for _, dn := range append([]DatanodeID(nil), c.replicas[pid]...) {
 			c.detachReplica(pb, dn)
 		}
-		delete(c.blocks, pid)
-		delete(c.replicas, pid)
+		c.dropBlock(pid)
 	}
 	f.Parity = nil
 	f.EncodeK, f.EncodeM = 0, 0
@@ -469,9 +469,9 @@ func (c *Cluster) DecodeFile(path string, n int, done func(error)) {
 		for _, dn := range append([]DatanodeID(nil), c.replicas[pid]...) {
 			c.detachReplica(pb, dn)
 		}
-		delete(c.blocks, pid)
-		delete(c.replicas, pid)
+		c.dropBlock(pid)
 	}
 	f.Parity = nil
+	c.reassessFile(f)
 	c.SetReplication(path, n, WholeAtOnce, done)
 }

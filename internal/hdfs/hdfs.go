@@ -83,6 +83,9 @@ type Block struct {
 	Size   float64
 	Parity bool
 	Group  int // stripe group for erasure coding
+	// fileID interns the owning file: hot paths resolve the INode through
+	// Cluster.fileOf instead of a string map lookup on File.
+	fileID int
 }
 
 // INode is a file's namespace entry.
@@ -96,6 +99,9 @@ type INode struct {
 	CreatedAt  time.Duration
 	// EncodeK/EncodeM record the stripe geometry once Encoded.
 	EncodeK, EncodeM int
+	// id is the interned file index into Cluster.fileByID; it survives
+	// renames and is never reused.
+	id int
 }
 
 // Datanode models one storage server.
@@ -138,6 +144,11 @@ type Datanode struct {
 	// reported tracks corrupt replicas already surfaced once but kept
 	// because they are the block's last copy.
 	reported map[BlockID]bool
+
+	// idxLoad/inIdx track the node's registration in the cluster's
+	// placement load index (see Cluster.reindexNode).
+	idxLoad int
+	inIdx   bool
 }
 
 // flowHandle is the per-flow record a datanode keeps for transfers it
@@ -304,11 +315,28 @@ type Cluster struct {
 	cfg    Config
 
 	files      map[string]*INode
+	fileByID   []*INode // interned files, indexed by INode.id; nil after delete
 	pathsCache []string // sorted FilePaths memo; nil after namespace changes
-	blocks     map[BlockID]*Block
-	replicas   map[BlockID][]DatanodeID
+	// blocks and replicas are dense slices indexed by BlockID (IDs are
+	// assigned monotonically and never reused); a nil blocks entry marks a
+	// deleted block. liveBlocks counts the non-nil entries.
+	blocks     []*Block
+	replicas   [][]DatanodeID
+	liveBlocks int
 	datanodes  []*Datanode
 	nextBlock  BlockID
+
+	// underSet holds the blocks currently below their replication target,
+	// maintained incrementally at every replica/target mutation so
+	// UnderReplicated never rescans the block space.
+	underSet map[BlockID]struct{}
+
+	// loadIdx buckets placement-eligible datanodes by PlacementLoad; each
+	// bucket is a bitset over node IDs, so candidate selection walks nodes
+	// in exactly the (load, ID) order the old linear scan sorted into.
+	// idxMin is a lazily-advanced lower bound on the first occupied bucket.
+	loadIdx []nodeSet
+	idxMin  int
 
 	placement Policy
 	audit     *auditlog.Log
@@ -342,8 +370,7 @@ func New(engine *sim.Engine, cfg Config) *Cluster {
 		fabric:      netsim.New(engine, cfg.Topology),
 		cfg:         cfg,
 		files:       make(map[string]*INode),
-		blocks:      make(map[BlockID]*Block),
-		replicas:    make(map[BlockID][]DatanodeID),
+		underSet:    make(map[BlockID]struct{}),
 		partitioned: make(map[int]bool),
 		audit:       auditlog.NewLog(cfg.KeepAuditRecords),
 	}
@@ -367,6 +394,7 @@ func New(engine *sim.Engine, cfg Config) *Cluster {
 			d.State = StateStandby
 		}
 		c.datanodes = append(c.datanodes, d)
+		c.reindexNode(d)
 	}
 	if cfg.Heartbeat.Enabled {
 		sim.NewTicker(engine, c.cfg.Heartbeat.Interval, c.heartbeatTick)
@@ -484,11 +512,65 @@ func (c *Cluster) FilePaths() []string {
 // Files returns the number of files.
 func (c *Cluster) Files() int { return len(c.files) }
 
-// Block returns block metadata.
-func (c *Cluster) Block(id BlockID) *Block { return c.blocks[id] }
+// Block returns block metadata (nil for unknown or deleted blocks).
+func (c *Cluster) Block(id BlockID) *Block {
+	if id < 0 || int(id) >= len(c.blocks) {
+		return nil
+	}
+	return c.blocks[id]
+}
 
 // Replicas returns the datanodes holding block id (do not mutate).
-func (c *Cluster) Replicas(id BlockID) []DatanodeID { return c.replicas[id] }
+func (c *Cluster) Replicas(id BlockID) []DatanodeID {
+	if id < 0 || int(id) >= len(c.replicas) {
+		return nil
+	}
+	return c.replicas[id]
+}
+
+// LiveBlocks returns the number of blocks currently in the block map.
+func (c *Cluster) LiveBlocks() int { return c.liveBlocks }
+
+// fileOf resolves a block's owning file through the interned file table
+// (nil once the file is deleted).
+func (c *Cluster) fileOf(b *Block) *INode {
+	if b.fileID < 0 || b.fileID >= len(c.fileByID) {
+		return nil
+	}
+	return c.fileByID[b.fileID]
+}
+
+// registerFile interns f and installs it in the namespace.
+func (c *Cluster) registerFile(f *INode) {
+	f.id = len(c.fileByID)
+	c.fileByID = append(c.fileByID, f)
+	c.files[f.Path] = f
+	c.pathsCache = nil
+}
+
+// addBlock registers a freshly minted block (its ID must be the next in
+// sequence) in the dense block map.
+func (c *Cluster) addBlock(b *Block) {
+	if b.ID != c.nextBlock {
+		panic(fmt.Sprintf("hdfs: block %d minted out of sequence (next %d)", b.ID, c.nextBlock))
+	}
+	c.nextBlock++
+	c.blocks = append(c.blocks, b)
+	c.replicas = append(c.replicas, nil)
+	c.liveBlocks++
+	c.reassessBlock(b)
+}
+
+// dropBlock removes a block whose replicas have already been detached.
+func (c *Cluster) dropBlock(id BlockID) {
+	if c.blocks[id] == nil {
+		return
+	}
+	c.blocks[id] = nil
+	c.replicas[id] = nil
+	c.liveBlocks--
+	delete(c.underSet, id)
+}
 
 // ReplicationOf returns the current replica count of a file's first block
 // (files keep uniform replication in this model), or 0 for unknown paths.
@@ -573,6 +655,7 @@ func (c *Cluster) CreateFile(path string, size float64, repl int, writer topolog
 		TargetRepl: repl,
 		CreatedAt:  c.engine.Now(),
 	}
+	c.registerFile(f)
 	nBlocks := int(size / c.cfg.BlockSize)
 	if float64(nBlocks)*c.cfg.BlockSize < size {
 		nBlocks++
@@ -582,25 +665,38 @@ func (c *Cluster) CreateFile(path string, size float64, repl int, writer topolog
 		if i == nBlocks-1 {
 			bs = size - float64(nBlocks-1)*c.cfg.BlockSize
 		}
-		b := &Block{ID: c.nextBlock, File: path, Index: i, Size: bs}
-		c.nextBlock++
-		c.blocks[b.ID] = b
+		b := &Block{ID: c.nextBlock, File: path, Index: i, Size: bs, fileID: f.id}
+		c.addBlock(b)
 		f.Blocks = append(f.Blocks, b.ID)
 		targets := c.placement.ChooseTargets(c, b, repl, DatanodeID(writer), nil)
 		if len(targets) == 0 {
+			c.unwindCreate(f)
 			return nil, fmt.Errorf("hdfs: no targets for block %d of %q", b.ID, path)
 		}
 		for _, t := range targets {
 			c.attachReplica(b, t)
 		}
 	}
-	c.files[path] = f
-	c.pathsCache = nil
 	c.audit.Append(auditlog.Record{
 		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
 		IP: c.clientIP(writer), Cmd: auditlog.CmdCreate, Src: path,
 	})
 	return f, nil
+}
+
+// unwindCreate rolls back a partially built CreateFile so a placement
+// failure does not leak orphan blocks into the block map.
+func (c *Cluster) unwindCreate(f *INode) {
+	for _, bid := range f.Blocks {
+		b := c.blocks[bid]
+		for _, dn := range append([]DatanodeID(nil), c.replicas[bid]...) {
+			c.detachReplica(b, dn)
+		}
+		c.dropBlock(bid)
+	}
+	delete(c.files, f.Path)
+	c.fileByID[f.id] = nil
+	c.pathsCache = nil
 }
 
 // DeleteFile removes a file and frees its replicas.
@@ -615,11 +711,11 @@ func (c *Cluster) DeleteFile(path string) error {
 			for _, dn := range append([]DatanodeID(nil), c.replicas[bid]...) {
 				c.detachReplica(b, dn)
 			}
-			delete(c.blocks, bid)
-			delete(c.replicas, bid)
+			c.dropBlock(bid)
 		}
 	}
 	delete(c.files, path)
+	c.fileByID[f.id] = nil
 	c.pathsCache = nil
 	c.audit.Append(auditlog.Record{
 		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
@@ -669,6 +765,8 @@ func (c *Cluster) attachReplica(b *Block, dn DatanodeID) {
 	delete(d.corrupt, b.ID)
 	delete(d.reported, b.ID)
 	c.replicas[b.ID] = append(c.replicas[b.ID], dn)
+	c.reassessBlock(b)
+	c.reindexNode(d)
 }
 
 // detachReplica removes a replica from dn.
@@ -688,4 +786,6 @@ func (c *Cluster) detachReplica(b *Block, dn DatanodeID) {
 			break
 		}
 	}
+	c.reassessBlock(b)
+	c.reindexNode(d)
 }

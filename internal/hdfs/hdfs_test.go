@@ -612,9 +612,13 @@ func TestReplicaInvariants(t *testing.T) {
 
 func checkConsistency(t *testing.T, c *Cluster) {
 	t.Helper()
+	for _, msg := range c.ConsistencyErrors() {
+		t.Errorf("consistency: %s", msg)
+	}
 	// Every replica entry matches the datanode's block set and no
 	// duplicates exist.
-	for bid, reps := range c.replicas {
+	for i, reps := range c.replicas {
+		bid := BlockID(i)
 		seen := map[DatanodeID]bool{}
 		for _, r := range reps {
 			if seen[r] {

@@ -58,6 +58,7 @@ func (c *Cluster) heartbeatTick(now time.Duration) {
 			d.lastHeartbeat = now
 			if d.Stale {
 				d.Stale = false
+				c.reindexNode(d)
 				c.reconcileRejoin(d)
 			}
 			continue
@@ -69,6 +70,7 @@ func (c *Cluster) heartbeatTick(now time.Duration) {
 		case age >= hb.StaleTimeout && !d.Stale:
 			d.Stale = true
 			c.metrics.StaleTransitions++
+			c.reindexNode(d)
 		}
 	}
 }
@@ -108,6 +110,7 @@ func (c *Cluster) declareDead(id DatanodeID) {
 	}
 	d.State = StateDown
 	d.Stale = false
+	c.reindexNode(d)
 	c.abortServing(d)
 	c.abortWaiting(d)
 	// Drop its replicas from the block map (space bookkeeping stays — the
@@ -228,11 +231,11 @@ func (c *Cluster) StaleNodes() []DatanodeID {
 // data loss.
 func (c *Cluster) UnrecoverableBlocks() []BlockID {
 	var out []BlockID
-	for bid, b := range c.blocks {
-		if c.blockRecoverable(b) {
+	for _, b := range c.blocks {
+		if b == nil || c.blockRecoverable(b) {
 			continue
 		}
-		out = append(out, bid)
+		out = append(out, b.ID)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -247,7 +250,7 @@ func (c *Cluster) blockRecoverable(b *Block) bool {
 			return true
 		}
 	}
-	f := c.files[b.File]
+	f := c.fileOf(b)
 	if f == nil || !f.Encoded {
 		return false
 	}

@@ -33,16 +33,19 @@ func NewDefaultPolicy() *DefaultPolicy { return &DefaultPolicy{} }
 // Name implements Policy.
 func (p *DefaultPolicy) Name() string { return "default-rack-aware" }
 
-// eligible lists nodes in the given states with room for the block, not
-// already replicas, not excluded — sorted by (blocks held, ID) so choice is
-// deterministic and load-spreading.
+// eligible lists active nodes with room for the block, not already
+// replicas, not excluded — sorted by (blocks held, ID) so choice is
+// deterministic and load-spreading. The hot path (pick, via scanEligible)
+// reproduces this order from the load index without the full scan; this
+// reference implementation remains as the oracle ConsistencyErrors checks
+// the index against.
 func eligible(c *Cluster, b *Block, exclude map[DatanodeID]bool, states ...NodeState) []DatanodeID {
 	okState := map[NodeState]bool{}
 	for _, s := range states {
 		okState[s] = true
 	}
 	holder := map[DatanodeID]bool{}
-	for _, r := range c.replicas[b.ID] {
+	for _, r := range c.Replicas(b.ID) {
 		holder[r] = true
 	}
 	var out []DatanodeID
@@ -83,12 +86,18 @@ func (p *DefaultPolicy) ChooseTargets(c *Cluster, b *Block, count int, writer Da
 	}
 	existing := c.replicas[b.ID]
 	pick := func(pred func(DatanodeID) bool) (DatanodeID, bool) {
-		for _, id := range eligible(c, b, taken, StateActive) {
+		var found DatanodeID = -1
+		c.scanEligible(b, taken, func(id DatanodeID) bool {
 			if pred == nil || pred(id) {
-				return id, true
+				found = id
+				return true
 			}
+			return false
+		})
+		if found < 0 {
+			return 0, false
 		}
-		return 0, false
+		return found, true
 	}
 
 	// Rack of the "first" replica for rack-awareness decisions.

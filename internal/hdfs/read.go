@@ -229,7 +229,7 @@ func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, don
 	if attempt > 0 {
 		c.tracer.SetAttrInt(sp, "attempt", int64(attempt))
 	}
-	b := c.blocks[id]
+	b := c.Block(id)
 	if b == nil {
 		c.tracer.SetAttr(sp, "error", "no such block")
 		c.tracer.End(sp)

@@ -71,7 +71,7 @@ func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
 		}
 		c.finish(done, err)
 	}
-	b := c.blocks[id]
+	b := c.Block(id)
 	if b == nil {
 		fail(fmt.Errorf("hdfs: no such block %d", id))
 		return
@@ -98,12 +98,14 @@ func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
 	// replicas can serve later transfers.
 	td.pendingAdds++
 	td.pendingBytes += b.Size
+	c.reindexNode(td)
 	settled := false
 	settle := func() {
 		if !settled {
 			settled = true
 			td.pendingAdds--
 			td.pendingBytes -= b.Size
+			c.reindexNode(td)
 		}
 	}
 	c.engine.Schedule(c.cfg.ReplCommandLatency, func() {
@@ -170,7 +172,7 @@ func (c *Cluster) finish(done func(error), err error) {
 // RemoveReplica drops the replica of id on target (metadata-only; freeing
 // space is instantaneous).
 func (c *Cluster) RemoveReplica(id BlockID, target DatanodeID) error {
-	b := c.blocks[id]
+	b := c.Block(id)
 	if b == nil {
 		return fmt.Errorf("hdfs: no such block %d", id)
 	}
@@ -242,6 +244,7 @@ func (c *Cluster) SetReplication(path string, n int, mode ReplicationMode, done 
 		IP: "10.0.0.1", Cmd: auditlog.CmdSetRepl, Src: path,
 	})
 	f.TargetRepl = n
+	c.reassessFile(f)
 	cur := c.ReplicationOf(path)
 	switch {
 	case n == cur:
@@ -343,22 +346,13 @@ func (c *Cluster) grow(f *INode, n int, mode ReplicationMode, done func(error)) 
 }
 
 // UnderReplicated lists blocks whose live replica count is below their
-// file's target (parity blocks target 1 replica).
+// file's target (parity blocks target 1 replica). The set is maintained
+// incrementally at every replica and target mutation, so this costs
+// O(degraded blocks), not O(block space).
 func (c *Cluster) UnderReplicated() []BlockID {
-	var out []BlockID
-	for bid, b := range c.blocks {
-		target := 1
-		if !b.Parity {
-			if f := c.files[b.File]; f != nil {
-				target = f.TargetRepl
-				if f.Encoded {
-					target = 1
-				}
-			}
-		}
-		if len(c.replicas[bid]) < target {
-			out = append(out, bid)
-		}
+	out := make([]BlockID, 0, len(c.underSet))
+	for bid := range c.underSet {
+		out = append(out, bid)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

@@ -15,7 +15,7 @@ import (
 // verifies the block, or the node rejoins from a partition and its block
 // report is reconciled.
 func (c *Cluster) CorruptReplica(id BlockID, dn DatanodeID) error {
-	b := c.blocks[id]
+	b := c.Block(id)
 	if b == nil {
 		return fmt.Errorf("hdfs: no such block %d", id)
 	}
@@ -45,7 +45,7 @@ func (c *Cluster) reportCorrupt(b *Block, dn DatanodeID) {
 			clean++
 		}
 	}
-	f := c.files[b.File]
+	f := c.fileOf(b)
 	protected := f != nil && f.Encoded
 	if clean > 0 || protected || len(c.replicas[b.ID]) > 1 {
 		c.metrics.CorruptDetected++
@@ -112,26 +112,32 @@ func (c *Cluster) StartScrubber(cfg ScrubConfig) func() {
 	return t.Stop
 }
 
-// scrubPass verifies the next n blocks in ID order, wrapping around.
+// scrubPass verifies the next n live blocks in ID order, wrapping around.
+// The cursor walks the dense block slice (skipping deleted entries) so a
+// pass costs the blocks visited, not a rebuild and sort of the whole ID
+// space.
 func (c *Cluster) scrubPass(n int) {
-	if len(c.blocks) == 0 {
+	if c.liveBlocks == 0 {
 		return
 	}
-	ids := make([]BlockID, 0, len(c.blocks))
-	for bid := range c.blocks {
-		ids = append(ids, bid)
+	if n > c.liveBlocks {
+		n = c.liveBlocks
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	if n > len(ids) {
-		n = len(ids)
+	pos := c.scrubCursor
+	if pos >= len(c.blocks) {
+		pos = 0
 	}
-	if c.scrubCursor >= len(ids) {
-		c.scrubCursor = 0
+	for visited := 0; visited < n; {
+		if pos >= len(c.blocks) {
+			pos = 0
+		}
+		if b := c.blocks[pos]; b != nil {
+			c.scrubBlock(b.ID)
+			visited++
+		}
+		pos++
 	}
-	for i := 0; i < n; i++ {
-		c.scrubBlock(ids[(c.scrubCursor+i)%len(ids)])
-	}
-	c.scrubCursor = (c.scrubCursor + n) % len(ids)
+	c.scrubCursor = pos % len(c.blocks)
 }
 
 // scrubBlock verifies one block's replicas.
@@ -145,7 +151,7 @@ func (c *Cluster) scrubBlock(bid BlockID) {
 		return
 	}
 	c.metrics.ReplicasScrubbed += len(reps)
-	f := c.files[b.File]
+	f := c.fileOf(b)
 	if f != nil && f.Encoded {
 		c.scrubStripe(f, b)
 		return

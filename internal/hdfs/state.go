@@ -46,6 +46,7 @@ func (c *Cluster) Commission(id DatanodeID) {
 	d.State = StateActive
 	d.activeSince = c.engine.Now()
 	d.lastHeartbeat = c.engine.Now()
+	c.reindexNode(d)
 	if sp := c.tracer.Instant("hdfs.commission", c.tracer.Current()); sp != 0 {
 		c.tracer.SetAttr(sp, "node", d.Name)
 	}
@@ -74,6 +75,7 @@ func (c *Cluster) ToStandby(id DatanodeID) {
 	}
 	d.ActiveTime += c.engine.Now() - d.activeSince
 	d.State = StateStandby
+	c.reindexNode(d)
 	if sp := c.tracer.Instant("hdfs.standby", c.tracer.Current()); sp != 0 {
 		c.tracer.SetAttr(sp, "node", d.Name)
 	}
@@ -100,6 +102,7 @@ func (c *Cluster) Kill(id DatanodeID) {
 		d.ActiveTime += c.engine.Now() - d.activeSince
 	}
 	d.crashed = true
+	c.reindexNode(d)
 	c.abortServing(d)
 	c.abortWaiting(d)
 }
@@ -119,6 +122,7 @@ func (c *Cluster) Decommission(id DatanodeID, done func(error)) {
 	}
 	d.ActiveTime += c.engine.Now() - d.activeSince
 	d.State = StateDecommissioning
+	c.reindexNode(d)
 	blocks := make([]BlockID, 0, len(d.blocks))
 	for bid := range d.blocks {
 		blocks = append(blocks, bid)
@@ -146,6 +150,7 @@ func (c *Cluster) Decommission(id DatanodeID, done func(error)) {
 			}
 		}
 		d.State = StateDecommissioned
+		c.reindexNode(d)
 		c.abortServing(d)
 		c.abortWaiting(d)
 		c.finish(done, nil)
@@ -199,6 +204,7 @@ func (c *Cluster) Restart(id DatanodeID) {
 	d.State = StateActive
 	d.activeSince = c.engine.Now()
 	d.lastHeartbeat = c.engine.Now()
+	c.reindexNode(d)
 	for _, fn := range c.onNodeUp {
 		fn(id)
 	}

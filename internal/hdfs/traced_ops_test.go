@@ -1,0 +1,81 @@
+package hdfs
+
+import (
+	"testing"
+
+	"erms/internal/sim"
+	"erms/internal/topology"
+	"erms/internal/trace"
+)
+
+// TestTracedOperationSpans: with a tracer installed, the replication and
+// coding entry points must produce spans (including error annotations) and
+// still behave identically — the tracing preamble wraps, never replaces,
+// the operation.
+func TestTracedOperationSpans(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e, Config{Topology: topology.New(topology.Config{})})
+	tr := trace.New(e.Now)
+	c.SetTracer(tr)
+	if c.Tracer() != tr {
+		t.Fatal("tracer not installed")
+	}
+
+	if _, err := c.CreateFile("/t", 640*mb, 3, -1); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+
+	// Error paths, all annotated on their spans.
+	errs := map[string]error{}
+	record := func(name string) func(error) {
+		return func(err error) { errs[name] = err }
+	}
+	c.SetReplication("/missing", 4, WholeAtOnce, record("missing"))
+	c.SetReplication("/t", 0, WholeAtOnce, record("zero"))
+	c.DecodeFile("/missing", 3, record("decode-missing"))
+	c.DecodeFile("/t", 3, record("decode-plain"))
+	e.Run()
+	for name, err := range errs {
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+
+	// Grow one-by-one, shrink, then a full encode/decode cycle.
+	c.SetReplication("/t", 5, OneByOne, record("grow"))
+	e.Run()
+	if got := c.ReplicationOf("/t"); got != 5 {
+		t.Fatalf("grow: replication %d, want 5", got)
+	}
+	c.SetReplication("/t", 2, WholeAtOnce, record("shrink"))
+	e.Run()
+	if got := c.ReplicationOf("/t"); got != 2 {
+		t.Fatalf("shrink: replication %d, want 2", got)
+	}
+	c.EncodeFile("/t", 10, 4, record("encode"))
+	e.Run()
+	if !c.File("/t").Encoded {
+		t.Fatal("file not encoded")
+	}
+	c.DecodeFile("/t", 3, record("decode"))
+	e.Run()
+	if c.File("/t").Encoded {
+		t.Fatal("file still encoded after decode")
+	}
+	if got := c.ReplicationOf("/t"); got != 3 {
+		t.Fatalf("decode: replication %d, want 3", got)
+	}
+	for _, name := range []string{"grow", "shrink", "encode", "decode"} {
+		if err, ok := errs[name]; !ok || err != nil {
+			t.Errorf("%s: done(%v), want done(nil)", name, err)
+		}
+	}
+
+	if tr.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	for _, msg := range c.ConsistencyErrors() {
+		t.Errorf("consistency: %s", msg)
+	}
+}

@@ -68,8 +68,7 @@ func (c *Cluster) WriteFile(client topology.NodeID, path string, size float64, r
 		TargetRepl: repl,
 		CreatedAt:  c.engine.Now(),
 	}
-	c.files[path] = f
-	c.pathsCache = nil
+	c.registerFile(f)
 	nBlocks := int(size / c.cfg.BlockSize)
 	if float64(nBlocks)*c.cfg.BlockSize < size {
 		nBlocks++
@@ -88,9 +87,8 @@ func (c *Cluster) WriteFile(client topology.NodeID, path string, size float64, r
 		if i == nBlocks-1 {
 			bs = size - float64(nBlocks-1)*c.cfg.BlockSize
 		}
-		b := &Block{ID: c.nextBlock, File: path, Index: i, Size: bs}
-		c.nextBlock++
-		c.blocks[b.ID] = b
+		b := &Block{ID: c.nextBlock, File: path, Index: i, Size: bs, fileID: f.id}
+		c.addBlock(b)
 		f.Blocks = append(f.Blocks, b.ID)
 		targets := c.placement.ChooseTargets(c, b, repl, DatanodeID(client), nil)
 		if len(targets) == 0 {

@@ -1,0 +1,278 @@
+// Package invariant holds global-state oracles for the simulator: facts
+// that must hold at every instant of every run, regardless of workload or
+// chaos schedule. The scale work (1,000 datanodes / 1M files) replaced
+// namenode-side linear scans with incremental indexes; these oracles are
+// the safety net that catches index drift, leaked bookkeeping, or
+// physically impossible states the unit tests would never construct.
+//
+// The checks are grouped into independent oracles so a failure names the
+// subsystem that broke:
+//
+//   - storage: the cluster's own index cross-check (ConsistencyErrors)
+//     plus replica-count bounds per block and file;
+//   - durability: no block is unrecoverable (skippable for runs whose
+//     chaos schedule legitimately destroys data);
+//   - energy: the standby pool's activity books balance — pooled uptime
+//     never exceeds wall clock and saved node-hours are non-negative;
+//   - condor: scheduler slot accounting never leaks — machine slots,
+//     running counts, job-state partition, and outcome stats agree;
+//   - metrics: the read and storage counters tie out against HDFS state.
+//
+// Check runs every applicable oracle once; Watch re-runs them on a sim
+// ticker for continuous checking during randomized runs.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"erms/internal/condor"
+	"erms/internal/core"
+	"erms/internal/hdfs"
+	"erms/internal/sim"
+)
+
+// Target names the system under check. Cluster is required; Manager is
+// optional (vanilla runs have none) and brings the energy and condor
+// oracles with it.
+type Target struct {
+	Cluster *hdfs.Cluster
+	Manager *core.Manager
+	// AllowDataLoss skips the durability oracle for chaos schedules that
+	// intentionally destroy every copy of a block.
+	AllowDataLoss bool
+	// MaxReplication, when positive, bounds every plain file's replication
+	// target (the judge's τ-derived clamp). Zero skips the bound.
+	MaxReplication int
+}
+
+// Check runs every applicable oracle once and returns the violations,
+// sorted. Empty means the state is sound.
+func Check(t Target) []string {
+	var errs []string
+	errs = append(errs, checkStorage(t)...)
+	if !t.AllowDataLoss {
+		errs = append(errs, checkDurability(t)...)
+	}
+	errs = append(errs, checkMetrics(t)...)
+	if t.Manager != nil {
+		errs = append(errs, checkEnergy(t)...)
+		errs = append(errs, checkCondor(t)...)
+	}
+	sort.Strings(errs)
+	return errs
+}
+
+// checkStorage wraps the cluster's internal index cross-check and adds the
+// externally-stated replication bounds: every block's live replica count
+// within [0, nodes], every plain file's target within [1, max].
+func checkStorage(t Target) []string {
+	c := t.Cluster
+	errs := c.ConsistencyErrors()
+	nodes := c.NumDatanodes()
+	for _, path := range c.FilePaths() {
+		f := c.File(path)
+		if f == nil {
+			continue
+		}
+		if !f.Encoded {
+			if f.TargetRepl < 1 {
+				errs = append(errs, fmt.Sprintf("file %q has target replication %d < 1", path, f.TargetRepl))
+			}
+			if t.MaxReplication > 0 && f.TargetRepl > t.MaxReplication {
+				errs = append(errs, fmt.Sprintf("file %q target replication %d exceeds max %d",
+					path, f.TargetRepl, t.MaxReplication))
+			}
+		}
+		for _, bid := range append(append([]hdfs.BlockID{}, f.Blocks...), f.Parity...) {
+			if n := len(c.Replicas(bid)); n > nodes {
+				errs = append(errs, fmt.Sprintf("block %d has %d replicas on a %d-node cluster", bid, n, nodes))
+			}
+		}
+	}
+	return errs
+}
+
+// checkDurability asserts no block has lost every path to its bytes: each
+// needs a clean replica or enough live stripe members to reconstruct.
+func checkDurability(t Target) []string {
+	var errs []string
+	for _, bid := range t.Cluster.UnrecoverableBlocks() {
+		errs = append(errs, fmt.Sprintf("block %d is unrecoverable: no clean replica or stripe path", bid))
+	}
+	return errs
+}
+
+// checkEnergy balances the standby pool's activity books.
+func checkEnergy(t Target) []string {
+	var errs []string
+	now := t.Cluster.Engine().Now()
+	rep := t.Manager.Energy()
+	if rep.PoolActiveTime < 0 || rep.PoolActiveTime > rep.AllActiveTime {
+		errs = append(errs, fmt.Sprintf("energy: pooled uptime %s outside [0, %s]",
+			rep.PoolActiveTime, rep.AllActiveTime))
+	}
+	if want := time.Duration(rep.PoolNodes) * now; rep.AllActiveTime != want {
+		errs = append(errs, fmt.Sprintf("energy: always-on baseline %s != %d nodes x %s",
+			rep.AllActiveTime, rep.PoolNodes, now))
+	}
+	if rep.SavedNodeHours < 0 {
+		errs = append(errs, fmt.Sprintf("energy: negative saved node-hours %.3f", rep.SavedNodeHours))
+	}
+	for _, d := range t.Cluster.Datanodes() {
+		up := d.ActiveTime + d.OpenActiveInterval(now)
+		if up < 0 || up > now {
+			errs = append(errs, fmt.Sprintf("energy: %s active time %s outside [0, %s]", d.Name, up, now))
+		}
+	}
+	return errs
+}
+
+// checkCondor asserts the scheduler never leaks a slot or loses a job:
+// machine busy counts, the running gauge, the job-state partition, and the
+// outcome stats must all describe the same world.
+func checkCondor(t Target) []string {
+	var errs []string
+	s := t.Manager.Scheduler()
+	busy := 0
+	for _, m := range s.Machines() {
+		free := m.Free()
+		if free < 0 || free > m.Slots {
+			errs = append(errs, fmt.Sprintf("condor: machine %s free slots %d outside [0, %d]",
+				m.Name, free, m.Slots))
+		}
+		busy += m.Slots - free
+	}
+	if busy != s.Running() {
+		errs = append(errs, fmt.Sprintf("condor: %d busy slots but %d jobs running", busy, s.Running()))
+	}
+	jobs := s.Jobs()
+	byState := map[condor.State]int{}
+	for _, j := range jobs {
+		byState[j.State]++
+	}
+	if byState[condor.StateRunning] != s.Running() {
+		errs = append(errs, fmt.Sprintf("condor: %d jobs in StateRunning but Running()=%d",
+			byState[condor.StateRunning], s.Running()))
+	}
+	if byState[condor.StatePending] != s.Pending() {
+		errs = append(errs, fmt.Sprintf("condor: %d jobs in StatePending but Pending()=%d",
+			byState[condor.StatePending], s.Pending()))
+	}
+	st := s.Stats()
+	if st.Submitted != len(jobs) {
+		errs = append(errs, fmt.Sprintf("condor: %d submissions logged but %d jobs known", st.Submitted, len(jobs)))
+	}
+	terminal := byState[condor.StateCompleted] + byState[condor.StateFailed] +
+		byState[condor.StateRolledBack] + byState[condor.StateAborted]
+	if terminal+s.Pending()+s.Running() != len(jobs) {
+		errs = append(errs, fmt.Sprintf("condor: job states do not partition: %d terminal + %d pending + %d running != %d jobs",
+			terminal, s.Pending(), s.Running(), len(jobs)))
+	}
+	if st.Completed != byState[condor.StateCompleted] {
+		errs = append(errs, fmt.Sprintf("condor: stats say %d completed, states say %d",
+			st.Completed, byState[condor.StateCompleted]))
+	}
+	if st.Aborted != byState[condor.StateAborted] {
+		errs = append(errs, fmt.Sprintf("condor: stats say %d aborted, states say %d",
+			st.Aborted, byState[condor.StateAborted]))
+	}
+	// EventFail fires for every finally-failed job, including those whose
+	// rollback then moved them to StateRolledBack.
+	if st.Failed != byState[condor.StateFailed]+byState[condor.StateRolledBack] {
+		errs = append(errs, fmt.Sprintf("condor: stats say %d failed, states say %d failed + %d rolled back",
+			st.Failed, byState[condor.StateFailed], byState[condor.StateRolledBack]))
+	}
+	return errs
+}
+
+// checkMetrics ties the cluster's counters to its actual state.
+func checkMetrics(t Target) []string {
+	var errs []string
+	c := t.Cluster
+	m := c.Metrics()
+	if m.ReadsStarted != m.ReadsCompleted+m.ReadsFailed+c.ActiveReads() {
+		errs = append(errs, fmt.Sprintf("metrics: %d reads started != %d completed + %d failed + %d active",
+			m.ReadsStarted, m.ReadsCompleted, m.ReadsFailed, c.ActiveReads()))
+	}
+	if m.BlockReads != m.NodeLocalReads+m.RackLocalReads+m.RemoteReads {
+		errs = append(errs, fmt.Sprintf("metrics: %d block reads != %d node-local + %d rack-local + %d remote",
+			m.BlockReads, m.NodeLocalReads, m.RackLocalReads, m.RemoteReads))
+	}
+	var stored float64
+	for _, path := range c.FilePaths() {
+		f := c.File(path)
+		for _, bid := range append(append([]hdfs.BlockID{}, f.Blocks...), f.Parity...) {
+			if b := c.Block(bid); b != nil {
+				stored += float64(len(c.Replicas(bid))) * b.Size
+			}
+		}
+	}
+	if diff := stored - c.TotalUsed(); diff > 1e-3 || diff < -1e-3 {
+		errs = append(errs, fmt.Sprintf("metrics: stored bytes %.1f != sum over replicas %.1f",
+			c.TotalUsed(), stored))
+	}
+	return errs
+}
+
+// Violation is one oracle failure observed by a Watcher, stamped with the
+// virtual time it was seen.
+type Violation struct {
+	At  time.Duration
+	Msg string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("[%s] %s", v.At, v.Msg) }
+
+// Watcher re-checks a target on a fixed virtual-time period for the life
+// of a run, accumulating violations instead of stopping at the first.
+type Watcher struct {
+	target Target
+	ticker *sim.Ticker
+	seen   map[string]bool
+	viols  []Violation
+	checks int
+}
+
+// Watch starts continuous checking of t on the engine every period
+// (default 30s). Each distinct violation message is recorded once, at the
+// first tick it appears. Call Stop before reading results, or let the run
+// end (the ticker dies with the event queue).
+func Watch(e *sim.Engine, period time.Duration, t Target) *Watcher {
+	if period <= 0 {
+		period = 30 * time.Second
+	}
+	w := &Watcher{target: t, seen: map[string]bool{}}
+	w.ticker = sim.NewTicker(e, period, func(now time.Duration) {
+		w.checks++
+		for _, msg := range Check(t) {
+			if !w.seen[msg] {
+				w.seen[msg] = true
+				w.viols = append(w.viols, Violation{At: now, Msg: msg})
+			}
+		}
+	})
+	return w
+}
+
+// Stop halts the periodic checking and runs one final check so end-state
+// violations are never missed.
+func (w *Watcher) Stop() {
+	w.ticker.Stop()
+	w.checks++
+	now := w.target.Cluster.Engine().Now()
+	for _, msg := range Check(w.target) {
+		if !w.seen[msg] {
+			w.seen[msg] = true
+			w.viols = append(w.viols, Violation{At: now, Msg: msg})
+		}
+	}
+}
+
+// Violations returns every distinct violation observed, in first-seen
+// order.
+func (w *Watcher) Violations() []Violation { return w.viols }
+
+// Checks returns how many oracle sweeps have run.
+func (w *Watcher) Checks() int { return w.checks }

@@ -1,0 +1,170 @@
+package invariant_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"erms/internal/core"
+	"erms/internal/experiments"
+	"erms/internal/hdfs"
+	"erms/internal/invariant"
+	"erms/internal/topology"
+)
+
+// TestRandomizedWorkloadStorm is the property suite: 25 seeds, each a
+// random workload (creates, reads, replication changes, deletes) crossed
+// with a random failure storm (kills with later restarts, spaced so
+// re-replication can keep up and no block legitimately loses every copy),
+// with every oracle checked continuously. Any violation reports the seed
+// and the exact reproduction command.
+func TestRandomizedWorkloadStorm(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runStorm(t, seed)
+		})
+	}
+}
+
+func runStorm(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Mix deployments: most seeds exercise the full ERMS stack (judge,
+	// condor, energy pool); every fifth runs vanilla HDFS so the oracles
+	// also guard the baseline paths.
+	var tb *experiments.Testbed
+	vanilla := seed%5 == 0
+	if vanilla {
+		tb = experiments.NewVanilla(12 + rng.Intn(8))
+	} else {
+		tb = experiments.NewERMS(12+rng.Intn(6), 3+rng.Intn(4), core.Thresholds{}, 2*time.Minute)
+	}
+	c, e := tb.Cluster, tb.Engine
+
+	target := invariant.Target{
+		Cluster:        c,
+		Manager:        tb.Manager,
+		MaxReplication: core.DefaultThresholds().MaxReplication,
+		// Vanilla HDFS has no repair agent: repeated kills legitimately
+		// erode replicas, so only the ERMS runs assert durability.
+		AllowDataLoss: vanilla,
+	}
+	w := invariant.Watch(e, 15*time.Second, target)
+
+	// Workload: a namespace of small files, then random reads, target
+	// changes, and deletes across half an hour of virtual time.
+	nFiles := 20 + rng.Intn(20)
+	paths := make([]string, 0, nFiles)
+	for i := 0; i < nFiles; i++ {
+		p := fmt.Sprintf("/storm/f%02d", i)
+		size := (32 + float64(rng.Intn(192))) * experiments.MB
+		if _, err := c.CreateFile(p, size, 3, -1); err != nil {
+			t.Fatalf("seed %d: create %s: %v", seed, p, err)
+		}
+		paths = append(paths, p)
+	}
+	horizon := 30 * time.Minute
+	for i := 0; i < 150; i++ {
+		at := time.Duration(rng.Int63n(int64(horizon)))
+		p := paths[rng.Intn(len(paths))]
+		switch rng.Intn(10) {
+		case 0: // replication target change: >= 2 so one dead node can
+			// never hold the last copy, and within the judge's clamp
+			n := 2 + rng.Intn(4)
+			e.Schedule(at, func() {
+				if c.File(p) != nil {
+					c.SetReplication(p, n, hdfs.WholeAtOnce, nil)
+				}
+			})
+		case 1: // delete (at most a few land; most paths keep existing)
+			if rng.Intn(4) == 0 {
+				e.Schedule(at, func() {
+					if c.File(p) != nil {
+						_ = c.DeleteFile(p)
+					}
+				})
+			}
+		default: // read from a random client node
+			client := topology.NodeID(rng.Intn(c.NumDatanodes()))
+			e.Schedule(at, func() {
+				if c.File(p) != nil {
+					c.ReadFile(client, p, nil)
+				}
+			})
+		}
+	}
+
+	// Storm: sequential kill/restart pairs, each node down for under a
+	// minute and kills spaced two minutes apart — far longer than repair
+	// needs, so durability must hold throughout.
+	at := time.Duration(rng.Int63n(int64(2 * time.Minute)))
+	for at < horizon-3*time.Minute {
+		id := hdfs.DatanodeID(rng.Intn(c.NumDatanodes()))
+		down := 15*time.Second + time.Duration(rng.Int63n(int64(45*time.Second)))
+		killAt, restartAt := at, at+down
+		e.Schedule(killAt, func() { c.Kill(id) })
+		e.Schedule(restartAt, func() { c.Restart(id) })
+		at = restartAt + 2*time.Minute + time.Duration(rng.Int63n(int64(time.Minute)))
+	}
+
+	e.RunUntil(horizon)
+	if tb.Manager != nil {
+		tb.Manager.Stop()
+	}
+	w.Stop()
+
+	if w.Checks() < 10 {
+		t.Fatalf("seed %d: watcher ran only %d sweeps", seed, w.Checks())
+	}
+	for _, v := range w.Violations() {
+		t.Errorf("seed %d: %s", seed, v)
+	}
+	if t.Failed() {
+		t.Logf("reproduce: go test ./internal/invariant/ -run 'TestRandomizedWorkloadStorm/seed=%d' -v", seed)
+	}
+}
+
+// TestWatcherCatchesDataLoss proves the oracle actually fires: a
+// single-replica file whose only holder dies (no repair possible) must
+// surface as a durability violation — recorded once, not once per sweep —
+// and both the ticker path and the final Stop sweep must report it.
+func TestWatcherCatchesDataLoss(t *testing.T) {
+	tb := experiments.NewVanilla(6)
+	c, e := tb.Cluster, tb.Engine
+	if _, err := c.CreateFile("/v", 64*experiments.MB, 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	w := invariant.Watch(e, 0, invariant.Target{Cluster: c}) // 0 → default period
+	holder := c.Replicas(c.File("/v").Blocks[0])[0]
+	e.Schedule(time.Minute, func() { c.Kill(holder) })
+	e.RunUntil(5 * time.Minute)
+	w.Stop()
+
+	viols := w.Violations()
+	if len(viols) == 0 {
+		t.Fatal("lost block produced no violation")
+	}
+	for _, v := range viols {
+		if v.String() == "" || v.At == 0 {
+			t.Errorf("malformed violation %+v", v)
+		}
+	}
+	msgs := map[string]int{}
+	for _, v := range viols {
+		msgs[v.Msg]++
+	}
+	for m, n := range msgs {
+		if n > 1 {
+			t.Errorf("violation recorded %d times: %s", n, m)
+		}
+	}
+	if direct := invariant.Check(invariant.Target{Cluster: c}); len(direct) == 0 {
+		t.Error("direct Check missed the lost block")
+	}
+	if none := invariant.Check(invariant.Target{Cluster: c, AllowDataLoss: true}); len(none) != 0 {
+		t.Errorf("AllowDataLoss still reported: %v", none)
+	}
+}

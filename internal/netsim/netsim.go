@@ -60,12 +60,28 @@ func (f *Flow) Canceled() bool { return f.canceled }
 
 // Fabric owns the link table and the active flow set.
 type Fabric struct {
-	engine   *sim.Engine
-	links    []topology.Link
-	flows    map[int64]*Flow
-	nextID   int64
-	lastCalc time.Duration
-	nextDone *sim.Event
+	engine *sim.Engine
+	links  []topology.Link
+	// flows holds the active flows in ascending id order: ids are assigned
+	// monotonically on admission and removal preserves order, so the slice
+	// is always sorted and every order-sensitive loop can range over it
+	// directly instead of sorting a map's keys.
+	flows []*Flow
+	// linkFlows[l] holds the active flows whose path crosses link l, in
+	// ascending id order — the per-link index that makes utilization
+	// queries proportional to the link's own population.
+	linkFlows [][]*Flow
+	nextID    int64
+	lastCalc  time.Duration
+	nextDone  *sim.Event
+
+	// Persistent scratch for computeRates, indexed by LinkID; reused
+	// across allocations so the hot path stays allocation-free.
+	crResidual []float64
+	crActive   []int
+	crSeen     []bool
+	crTouched  []topology.LinkID
+	crFrozen   []bool
 
 	// BytesMoved accumulates total bytes delivered, for network-overhead
 	// accounting in experiments.
@@ -107,10 +123,13 @@ func New(engine *sim.Engine, topo *topology.Topology) *Fabric {
 	return &Fabric{
 		engine:       engine,
 		links:        links,
-		flows:        make(map[int64]*Flow),
+		linkFlows:    make([][]*Flow, len(links)),
 		bytesPerLink: make([]float64, len(links)),
 		baseCap:      base,
 		factor:       factor,
+		crResidual:   make([]float64, len(links)),
+		crActive:     make([]int, len(links)),
+		crSeen:       make([]bool, len(links)),
 	}
 }
 
@@ -143,16 +162,13 @@ func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
 func (fb *Fabric) LinkBytes(id topology.LinkID) float64 { return fb.bytesPerLink[id] }
 
 // LinkUtilization returns the instantaneous utilization (allocated rate /
-// capacity) of link id.
+// capacity) of link id. The per-link index keeps this proportional to the
+// link's own flow population; summation stays in flow-id order, so the
+// float arithmetic matches a global ordered scan bit for bit.
 func (fb *Fabric) LinkUtilization(id topology.LinkID) float64 {
 	var used float64
-	for _, f := range fb.ordered() {
-		for _, l := range f.path {
-			if l == id {
-				used += f.rate
-				break
-			}
-		}
+	for _, f := range fb.linkFlows[id] {
+		used += f.rate
 	}
 	c := fb.links[id].Capacity
 	if c <= 0 {
@@ -183,7 +199,14 @@ func (fb *Fabric) StartFlow(path []topology.LinkID, bytes float64, maxRate float
 		fabric:    fb,
 	}
 	fb.nextID++
-	fb.flows[f.id] = f
+	fb.flows = append(fb.flows, f) // ids are monotonic, so append keeps id order
+	for _, l := range f.path {
+		lf := fb.linkFlows[l]
+		if n := len(lf); n > 0 && lf[n-1] == f {
+			continue // a path may revisit a link; index it once
+		}
+		fb.linkFlows[l] = append(lf, f)
+	}
 	if tr := fb.tracer; tr.Enabled() {
 		f.span = tr.Begin("net.flow", tr.Current())
 		tr.SetAttrInt(f.span, "bytes", int64(bytes))
@@ -200,10 +223,32 @@ func (fb *Fabric) Cancel(f *Flow) {
 	}
 	fb.settle()
 	f.canceled = true
-	delete(fb.flows, f.id)
+	fb.removeFlow(f)
 	fb.tracer.SetAttr(f.span, "canceled", "true")
 	fb.tracer.End(f.span)
 	fb.reallocate()
+}
+
+// removeFlow drops f from the global flow slice and every per-link index,
+// preserving ascending id order in each.
+func (fb *Fabric) removeFlow(f *Flow) {
+	fb.flows = deleteByID(fb.flows, f.id)
+	for _, l := range f.path {
+		fb.linkFlows[l] = deleteByID(fb.linkFlows[l], f.id)
+	}
+}
+
+// deleteByID removes the flow with the given id from an id-sorted slice,
+// keeping order. Missing ids are a no-op (a path that revisits a link is
+// indexed once but visited twice on removal).
+func deleteByID(s []*Flow, id int64) []*Flow {
+	i := sort.Search(len(s), func(i int) bool { return s[i].id >= id })
+	if i == len(s) || s[i].id != id {
+		return s
+	}
+	copy(s[i:], s[i+1:])
+	s[len(s)-1] = nil
+	return s[:len(s)-1]
 }
 
 // Progress returns the bytes remaining for f right now.
@@ -219,17 +264,10 @@ func (fb *Fabric) Progress(f *Flow) float64 {
 	return rem
 }
 
-// ordered returns the active flows sorted by id. Every loop whose float
-// arithmetic or tie-breaking depends on visit order must use this instead
-// of ranging over the flows map, or runs stop being bit-reproducible.
-func (fb *Fabric) ordered() []*Flow {
-	out := make([]*Flow, 0, len(fb.flows))
-	for _, f := range fb.flows {
-		out = append(out, f)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
-}
+// ordered returns the active flows in ascending id order. The flow slice
+// maintains that invariant, so this is a view, not a sort; callers must not
+// mutate the returned slice.
+func (fb *Fabric) ordered() []*Flow { return fb.flows }
 
 // settle advances every active flow's remaining bytes to the current
 // instant, attributing the moved bytes to accounting.
@@ -311,7 +349,7 @@ func (fb *Fabric) completeDue() {
 	for _, f := range finished {
 		f.remaining = 0
 		f.done = true
-		delete(fb.flows, f.id)
+		fb.removeFlow(f)
 		fb.tracer.End(f.span)
 	}
 	fb.reallocate()
@@ -327,35 +365,45 @@ func (fb *Fabric) completeDue() {
 // constraint (a link's equal share among its unfrozen flows, or a flow's own
 // cap), freeze the implicated flows at that rate, and continue until every
 // flow is frozen.
+//
+// Link state lives in persistent dense arrays indexed by LinkID (plus a
+// sorted touched-link list), and frozen is positional over the id-ordered
+// flow slice, so the hot path allocates nothing — while every loop visits
+// links and flows in exactly the order the original map-based version did,
+// keeping the float arithmetic bit-identical.
 func (fb *Fabric) computeRates() {
-	type linkState struct {
-		residual float64
-		nActive  int
+	flows := fb.flows // ascending id: fixed visit order keeps the float math reproducible
+	residual := fb.crResidual
+	nActive := fb.crActive
+	seen := fb.crSeen
+	touched := fb.crTouched[:0]
+	if cap(fb.crFrozen) < len(flows) {
+		fb.crFrozen = make([]bool, len(flows))
 	}
-	flows := fb.ordered() // fixed visit order keeps the float math reproducible
-	states := make(map[topology.LinkID]*linkState)
-	frozen := make(map[int64]bool, len(flows))
-	var linkIDs []topology.LinkID
+	frozen := fb.crFrozen[:len(flows)]
+	for i := range frozen {
+		frozen[i] = false
+	}
 	for _, f := range flows {
 		f.rate = 0
 		for _, l := range f.path {
-			st := states[l]
-			if st == nil {
-				st = &linkState{residual: fb.links[l].Capacity}
-				states[l] = st
-				linkIDs = append(linkIDs, l)
+			if !seen[l] {
+				seen[l] = true
+				residual[l] = fb.links[l].Capacity
+				nActive[l] = 0
+				touched = append(touched, l)
 			}
-			st.nActive++
+			nActive[l]++
 		}
 	}
-	sort.Slice(linkIDs, func(i, j int) bool { return linkIDs[i] < linkIDs[j] })
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
 	remaining := len(flows)
 	for remaining > 0 {
 		// Tightest link share among links with unfrozen flows.
 		share := math.Inf(1)
-		for _, id := range linkIDs {
-			if st := states[id]; st.nActive > 0 {
-				s := st.residual / float64(st.nActive)
+		for _, id := range touched {
+			if nActive[id] > 0 {
+				s := residual[id] / float64(nActive[id])
 				if s < share {
 					share = s
 				}
@@ -363,8 +411,8 @@ func (fb *Fabric) computeRates() {
 		}
 		// A flow cap can bind before the link share does.
 		capBind := math.Inf(1)
-		for _, f := range flows {
-			if frozen[f.id] || f.maxRate <= 0 {
+		for i, f := range flows {
+			if frozen[i] || f.maxRate <= 0 {
 				continue
 			}
 			if f.maxRate < capBind {
@@ -383,8 +431,8 @@ func (fb *Fabric) computeRates() {
 			rate = math.MaxFloat64 / 4
 		}
 		// Freeze the binding flows.
-		for _, f := range flows {
-			if frozen[f.id] {
+		for i, f := range flows {
+			if frozen[i] {
 				continue
 			}
 			bind := false
@@ -392,8 +440,7 @@ func (fb *Fabric) computeRates() {
 				bind = f.maxRate > 0 && f.maxRate <= rate
 			} else {
 				for _, l := range f.path {
-					st := states[l]
-					if st.residual/float64(st.nActive) <= rate+1e-12 {
+					if residual[l]/float64(nActive[l]) <= rate+1e-12 {
 						bind = true
 						break
 					}
@@ -410,16 +457,19 @@ func (fb *Fabric) computeRates() {
 				r = f.maxRate
 			}
 			f.rate = r
-			frozen[f.id] = true
+			frozen[i] = true
 			remaining--
 			for _, l := range f.path {
-				st := states[l]
-				st.residual -= r
-				if st.residual < 0 {
-					st.residual = 0
+				residual[l] -= r
+				if residual[l] < 0 {
+					residual[l] = 0
 				}
-				st.nActive--
+				nActive[l]--
 			}
 		}
 	}
+	for _, id := range touched {
+		seen[id] = false
+	}
+	fb.crTouched = touched[:0]
 }

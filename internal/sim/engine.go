@@ -83,9 +83,39 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 	return ev
 }
 
+// Timed pairs an absolute firing time with a callback, for AtBatch.
+type Timed struct {
+	At time.Duration
+	Fn func()
+}
+
+// AtBatch schedules many events in one calendar operation. Sequence numbers
+// are assigned in slice order, so the firing order is identical to calling At
+// for each element in turn; the heap is rebuilt once with heap.Init (O(n))
+// instead of sifting per event (O(n log n)). Workload preloading at the
+// million-file scale is the intended caller.
+func (e *Engine) AtBatch(items []Timed) []*Event {
+	evs := make([]*Event, len(items))
+	for i, it := range items {
+		if it.At < e.now {
+			panic(fmt.Sprintf("sim: scheduling event at %v before now %v", it.At, e.now))
+		}
+		if it.Fn == nil {
+			panic("sim: nil event callback")
+		}
+		ev := &Event{at: it.At, seq: e.seq, fn: it.Fn, index: len(e.queue)}
+		e.seq++
+		e.queue = append(e.queue, ev)
+		evs[i] = ev
+	}
+	heap.Init(&e.queue)
+	return evs
+}
+
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op. The event stays in the calendar and is
-// discarded when popped.
+// discarded when popped, or swept out in bulk once canceled entries dominate
+// the queue.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil {
 		return
@@ -95,6 +125,32 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	ev.canceled = true
 	ev.fn = nil
+	e.maybeCompact()
+}
+
+// maybeCompact removes canceled events from the calendar once they make up
+// more than half of a large queue. Pop order depends only on (at, seq), both
+// immutable, so rebuilding the heap without the dead entries cannot change
+// which live event fires next.
+func (e *Engine) maybeCompact() {
+	if len(e.queue) < 1024 || e.canceled*2 <= len(e.queue) {
+		return
+	}
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.canceled {
+			ev.index = -1
+			continue
+		}
+		ev.index = len(live)
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	e.canceled = 0
+	heap.Init(&e.queue)
 }
 
 // Step executes the next event, advancing the clock to its timestamp. It

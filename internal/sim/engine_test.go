@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -296,5 +297,170 @@ func TestZipfDeterministic(t *testing.T) {
 		if a.Draw() != b.Draw() {
 			t.Fatal("same-seed zipf streams diverged")
 		}
+	}
+}
+
+// AtBatch must fire events in exactly the order sequential At calls would:
+// same (time, seq) ordering, interleaved correctly with prior At events.
+func TestAtBatchMatchesSequentialAt(t *testing.T) {
+	delays := []uint16{7, 3, 3, 0, 9, 3, 7, 1, 0, 9, 5}
+	run := func(batch bool) []int {
+		e := NewEngine()
+		var got []int
+		// A few events scheduled the ordinary way first, so batch seqs
+		// start mid-stream.
+		for i := 0; i < 3; i++ {
+			i := i
+			e.Schedule(3*time.Millisecond, func() { got = append(got, -1-i) })
+		}
+		if batch {
+			items := make([]Timed, len(delays))
+			for i, d := range delays {
+				i := i
+				items[i] = Timed{At: time.Duration(d) * time.Millisecond,
+					Fn: func() { got = append(got, i) }}
+			}
+			e.AtBatch(items)
+		} else {
+			for i, d := range delays {
+				i := i
+				e.At(time.Duration(d)*time.Millisecond, func() { got = append(got, i) })
+			}
+		}
+		e.Run()
+		return got
+	}
+	seq, bat := run(false), run(true)
+	if len(seq) != len(bat) {
+		t.Fatalf("lengths differ: %v vs %v", seq, bat)
+	}
+	for i := range seq {
+		if seq[i] != bat[i] {
+			t.Fatalf("order diverged at %d: sequential %v, batch %v", i, seq, bat)
+		}
+	}
+}
+
+func TestAtBatchCancelable(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	evs := e.AtBatch([]Timed{
+		{At: time.Second, Fn: func() { fired++ }},
+		{At: 2 * time.Second, Fn: func() { fired++ }},
+	})
+	e.Cancel(evs[0])
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (first canceled)", fired)
+	}
+}
+
+func TestAtBatchPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtBatch in the past did not panic")
+		}
+	}()
+	e.AtBatch([]Timed{{At: 0, Fn: func() {}}})
+}
+
+// Compaction kicks in when canceled events dominate a large queue; the
+// surviving events must still fire in the same order, and Pending must
+// stay consistent.
+func TestCancelCompaction(t *testing.T) {
+	e := NewEngine()
+	var victims []*Event
+	var got []int
+	const n = 4096
+	for i := 0; i < n; i++ {
+		i := i
+		ev := e.Schedule(time.Duration(i%97+1)*time.Millisecond, func() { got = append(got, i) })
+		if i%4 != 0 {
+			victims = append(victims, ev)
+		}
+	}
+	for _, v := range victims {
+		e.Cancel(v)
+	}
+	if want := n - len(victims); e.Pending() != want {
+		t.Fatalf("Pending = %d, want %d", e.Pending(), want)
+	}
+	// The queue itself must have shrunk: compaction ran.
+	if len(e.queue) >= n {
+		t.Fatalf("queue len %d not compacted below %d", len(e.queue), n)
+	}
+	e.Run()
+	if len(got) != n-len(victims) {
+		t.Fatalf("fired %d events, want %d", len(got), n-len(victims))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		da, db := a%97, b%97
+		if da > db || (da == db && a > b) {
+			t.Fatalf("events out of (time, seq) order: %d before %d", a, b)
+		}
+	}
+}
+
+// Property: with random schedule/cancel interleavings, a compacting engine
+// fires exactly the same sequence as the pre-compaction semantics (cancel
+// marks the event; live events fire in (time, seq) order).
+func TestQuickCancelCompactionOrder(t *testing.T) {
+	f := func(delays []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		type rec struct {
+			idx int
+			ev  *Event
+		}
+		var evs []rec
+		var got []int
+		for i, d := range delays {
+			i := i
+			ev := e.Schedule(time.Duration(d)*time.Millisecond, func() { got = append(got, i) })
+			evs = append(evs, rec{i, ev})
+		}
+		var want []int
+		canceled := map[int]bool{}
+		for i, r := range evs {
+			if i < len(cancelMask) && cancelMask[i] {
+				e.Cancel(r.ev)
+				canceled[r.idx] = true
+			}
+		}
+		type key struct {
+			at  uint16
+			seq int
+		}
+		var keys []key
+		for i, d := range delays {
+			if !canceled[i] {
+				keys = append(keys, key{d, i})
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].at != keys[b].at {
+				return keys[a].at < keys[b].at
+			}
+			return keys[a].seq < keys[b].seq
+		})
+		for _, k := range keys {
+			want = append(want, k.seq)
+		}
+		e.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }

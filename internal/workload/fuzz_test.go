@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeTrace: the JSON and CSV trace decoders must never panic, and
+// anything either accepts must survive an encode→decode round trip — JSON
+// exactly (numbers round-trip), CSV up to its fixed-precision time fields
+// (so the re-encoded form must stay decodable with the same shape).
+func FuzzDecodeTrace(f *testing.F) {
+	tr := Synthesize(Config{Seed: 1, Duration: 20 * time.Minute, NumFiles: 6})
+	var jb, cb bytes.Buffer
+	if err := tr.WriteJSON(&jb); err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.WriteCSV(&cb); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(jb.Bytes())
+	f.Add(cb.Bytes())
+	f.Add([]byte(`{"seed":1,"duration":60000000000}`))
+	f.Add([]byte(`{"files":[{"path":"/x","size":1e300}]}`))
+	f.Add([]byte("FILES\npath,size_mb,create_at_s,rank\n/x,256,0,1\n"))
+	f.Add([]byte("JOBS\nname,submit_s,file,client,compute_ms_per_mb\nj,NaN,/x,0,8\n"))
+	f.Add([]byte("/x,1,2,3\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if tr, err := ReadJSON(bytes.NewReader(data)); err == nil {
+			var out bytes.Buffer
+			if err := tr.WriteJSON(&out); err != nil {
+				// JSON has no NaN/Inf literals, so every decoded trace
+				// must re-encode.
+				t.Fatalf("re-encoding decoded JSON trace: %v", err)
+			}
+			back, err := ReadJSON(&out)
+			if err != nil {
+				t.Fatalf("re-decoding encoded JSON trace: %v", err)
+			}
+			if !reflect.DeepEqual(tr, back) {
+				t.Fatalf("JSON round trip changed the trace:\n%+v\nvs\n%+v", tr, back)
+			}
+		}
+		if tr, err := ReadCSV(bytes.NewReader(data)); err == nil {
+			var out bytes.Buffer
+			if err := tr.WriteCSV(&out); err != nil {
+				t.Fatalf("re-encoding decoded CSV trace: %v", err)
+			}
+			back, err := ReadCSV(bytes.NewReader(out.Bytes()))
+			if err != nil {
+				t.Fatalf("re-decoding encoded CSV trace: %v", err)
+			}
+			if len(back.Files) != len(tr.Files) || len(back.Jobs) != len(tr.Jobs) {
+				t.Fatalf("CSV round trip changed counts: %d/%d files, %d/%d jobs",
+					len(tr.Files), len(back.Files), len(tr.Jobs), len(back.Jobs))
+			}
+			for i := range tr.Files {
+				if back.Files[i].Path != tr.Files[i].Path || back.Files[i].Rank != tr.Files[i].Rank {
+					t.Fatalf("CSV round trip changed file %d: %+v vs %+v", i, tr.Files[i], back.Files[i])
+				}
+			}
+			for i := range tr.Jobs {
+				if back.Jobs[i].Name != tr.Jobs[i].Name || back.Jobs[i].File != tr.Jobs[i].File ||
+					back.Jobs[i].Client != tr.Jobs[i].Client {
+					t.Fatalf("CSV round trip changed job %d: %+v vs %+v", i, tr.Jobs[i], back.Jobs[i])
+				}
+			}
+		}
+	})
+}
