@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test race check bench bench-accept benchdiff lint cover cover-check \
-	figures fuzz full-scale soak examples clean
+	figures fuzz full-scale soak sweep runtime-table examples clean
 
 all: build vet test
 
@@ -20,7 +20,20 @@ race:
 	$(GO) test -race ./...
 
 # The full gate: what CI runs and what a PR must keep green.
-check: build vet test race soak
+check: build vet test race soak sweep
+
+# Cross-core determinism gate: the same threshold grid at -parallel 1 and
+# -parallel 8 must merge to byte-identical output, proven under the race
+# detector (see internal/sweep and DESIGN.md §11).
+sweep:
+	$(GO) test -race -run 'TestThresholdSweepWorkerInvariance|TestWorkerCountInvariance' \
+		./internal/experiments/ ./internal/sweep/
+
+# Regenerates the per-figure serial-vs-parallel runtime table embedded in
+# EXPERIMENTS.md (append-only artifact; CI uploads it from the cover job).
+runtime-table:
+	$(GO) run ./cmd/figures -fig all -runtime-table > runtime_table.md
+	@cat runtime_table.md
 
 # Chaos soak: six virtual hours of crashes, partitions, and silent
 # corruption under heartbeat detection, across a 3-seed matrix, with the
@@ -48,10 +61,12 @@ benchdiff:
 	$(GO) test -json -bench=. -benchmem -run '^$$' ./internal/cep/ ./internal/core/ ./internal/experiments/ > BENCH_cep.new.json
 	$(GO) run ./cmd/benchdiff
 
-# Style gate: vet plus gofmt (fails listing any unformatted file).
+# Style gate: vet, gofmt (fails listing any unformatted file), and the
+# package-doc floor (every package needs a godoc comment; see cmd/doccheck).
 lint: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) run ./cmd/doccheck .
 
 # Coverage floor: CI fails if total statement coverage drops below this.
 COVER_FLOOR ?= 80.0

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write creates path (and parents) with the given contents.
+func write(t *testing.T, path, contents string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagsUndocumentedPackages(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "good", "doc.go"),
+		"// Package good is documented.\npackage good\n")
+	// Documented on one file is enough, even if others are bare.
+	write(t, filepath.Join(root, "good", "extra.go"), "package good\n")
+	write(t, filepath.Join(root, "bad", "bad.go"), "package bad\n")
+	// Doc comments in test files don't count — godoc ignores them.
+	write(t, filepath.Join(root, "bad", "bad_test.go"),
+		"// Package bad pretends via its test file.\npackage bad\n")
+	// Non-Go and empty directories are not packages.
+	write(t, filepath.Join(root, "assets", "README.md"), "not go\n")
+	// Hidden and testdata trees are skipped entirely.
+	write(t, filepath.Join(root, ".hidden", "h.go"), "package h\n")
+	write(t, filepath.Join(root, "good", "testdata", "td.go"), "package td\n")
+
+	missing, err := run([]string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(root, "bad")}
+	if len(missing) != 1 || missing[0] != want[0] {
+		t.Errorf("missing = %v, want %v", missing, want)
+	}
+}
+
+func TestRunCleanTree(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "a", "a.go"), "// Package a.\npackage a\n")
+	write(t, filepath.Join(root, "a", "b", "b.go"), "// Package b.\npackage b\n")
+	missing, err := run([]string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("clean tree flagged: %v", missing)
+	}
+}
+
+func TestRunSyntaxError(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "broken.go"), "pkg broken\n")
+	if _, err := run([]string{root}); err == nil {
+		t.Error("unparseable file did not error")
+	}
+}
+
+// TestRepoIsDocumented is the rule applied to this repository itself:
+// every package under the module root must have a doc comment.
+func TestRepoIsDocumented(t *testing.T) {
+	missing, err := run([]string{"../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("undocumented packages in repo: %v", missing)
+	}
+}

@@ -9,6 +9,7 @@
 //	ermsctl -duration 1h -log             # include the Condor user log
 //	ermsctl trace -o out.json             # export a Chrome trace (Perfetto)
 //	ermsctl metrics                       # Prometheus-style metrics snapshot
+//	ermsctl sweep -seeds 3 -taum 12,8,4   # threshold grid across all cores
 package main
 
 import (
@@ -29,6 +30,10 @@ func main() {
 	log.SetPrefix("ermsctl: ")
 	if len(os.Args) > 1 && (os.Args[1] == "trace" || os.Args[1] == "metrics") {
 		runToolCommand(os.Args[1], os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		runSweep(os.Args[2:])
 		return
 	}
 	var (

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"erms/internal/sweep"
+)
+
+func TestParseFloats(t *testing.T) {
+	got := parseFloats(" 12, 8 ,4")
+	want := []float64{12, 8, 4}
+	if len(got) != len(want) {
+		t.Fatalf("parseFloats = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("parseFloats[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSweepCellDeterministic(t *testing.T) {
+	p := sweep.Point{Seed: 3, Values: []float64{8, 0.5}}
+	a := sweepCell(p, 6*time.Minute, 4)
+	b := sweepCell(p, 6*time.Minute, 4)
+	if a != b {
+		t.Errorf("sweepCell not deterministic:\n%s\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, "seed=3 tau_M=8 eps=0.5") {
+		t.Errorf("cell row missing label: %q", a)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestRunSweepByteStable drives the full subcommand at two worker counts:
+// same grid, same bytes.
+func TestRunSweepByteStable(t *testing.T) {
+	var outs []string
+	for _, par := range []string{"1", "4"} {
+		outs = append(outs, captureStdout(t, func() {
+			runSweep([]string{"-seeds", "2", "-taum", "8,4", "-duration", "6m",
+				"-files", "4", "-parallel", par})
+		}))
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("ermsctl sweep diverges across worker counts:\n--- parallel=1:\n%s\n--- parallel=4:\n%s",
+			outs[0], outs[1])
+	}
+	if !strings.Contains(outs[0], "cell") || !strings.Contains(outs[0], "seed=2 tau_M=4") {
+		t.Errorf("sweep output missing header or final cell:\n%s", outs[0])
+	}
+	if lines := strings.Count(strings.TrimSpace(outs[0]), "\n"); lines != 4 {
+		t.Errorf("want header + 4 rows, got:\n%s", outs[0])
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"erms/internal/sweep"
+)
+
+// names extracts the task names from a selection.
+func names(tasks []sweep.Task) []string {
+	var out []string
+	for _, t := range tasks {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+func TestBuildTasksSelection(t *testing.T) {
+	opts := figOpts{seed: 1, parallel: 1}
+
+	all, notes := buildTasks("all", opts)
+	got := strings.Join(names(all), " ")
+	for _, want := range []string{"3", "4", "5", "6", "7", "8", "9",
+		"ablation:placement", "ablation:idle", "ablation:thresholds",
+		"ablation:predictive", "ablation:speculation",
+		"reliability", "durability", "sweep", "trace"} {
+		if !strings.Contains(" "+got+" ", " "+want+" ") {
+			t.Errorf("-fig all missing task %q (got %s)", want, got)
+		}
+	}
+	if strings.Contains(got, "scale") {
+		t.Errorf("-fig all includes scale: %s", got)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "run with -fig scale") {
+		t.Errorf("-fig all notes = %v, want the scale exclusion note", notes)
+	}
+
+	one, notes := buildTasks("3a", opts)
+	if len(one) != 1 || one[0].Name != "3" || len(notes) != 0 {
+		t.Errorf("-fig 3a = %v notes %v, want the single fig-3 task", names(one), notes)
+	}
+	scale, notes := buildTasks("scale", opts)
+	if len(scale) != 1 || scale[0].Name != "scale" || len(notes) != 0 {
+		t.Errorf("-fig scale = %v notes %v", names(scale), notes)
+	}
+	if none, _ := buildTasks("nope", opts); len(none) != 0 {
+		t.Errorf("-fig nope = %v, want none", names(none))
+	}
+}
+
+// TestFigureTaskRuns executes one cheap figure end to end through the
+// sweep engine, twice, asserting the byte-stability main relies on.
+func TestFigureTaskRuns(t *testing.T) {
+	var outs []string
+	for range 2 {
+		tasks, _ := buildTasks("7", figOpts{seed: 1, parallel: 1})
+		results, err := sweep.Run(context.Background(), sweep.Options{Parallel: 2}, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, sweep.Merged(results))
+	}
+	if outs[0] != outs[1] {
+		t.Error("figure 7 output not deterministic across runs")
+	}
+	if !strings.Contains(outs[0], "whole") {
+		t.Errorf("figure 7 table missing expected column:\n%s", outs[0])
+	}
+}
+
+func TestRuntimeTableMarkdown(t *testing.T) {
+	got := runtimeTableMarkdown("7", figOpts{seed: 1, parallel: 2})
+	for _, want := range []string{"| figure | serial_s | parallel_s |", "| 7 |",
+		"**total wall**", "byte-identical across worker counts: true"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("runtime table missing %q:\n%s", want, got)
+		}
+	}
+}

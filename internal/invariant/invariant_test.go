@@ -1,6 +1,8 @@
 package invariant_test
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -10,26 +12,77 @@ import (
 	"erms/internal/experiments"
 	"erms/internal/hdfs"
 	"erms/internal/invariant"
+	"erms/internal/sweep"
 	"erms/internal/topology"
 )
+
+// stormSeed narrows the storm grid to one seed for reproduction:
+//
+//	go test ./internal/invariant/ -run TestRandomizedWorkloadStorm -storm-seed=7 -v
+var stormSeed = flag.Int64("storm-seed", 0, "run a single storm seed instead of the full grid")
 
 // TestRandomizedWorkloadStorm is the property suite: 25 seeds, each a
 // random workload (creates, reads, replication changes, deletes) crossed
 // with a random failure storm (kills with later restarts, spaced so
 // re-replication can keep up and no block legitimately loses every copy),
-// with every oracle checked continuously. Any violation reports the seed
-// and the exact reproduction command.
+// with every oracle checked continuously. The seeds fan out across cores
+// on the sweep engine — each cell is its own deterministic simulation —
+// and any violation reports the seed and the exact reproduction command.
 func TestRandomizedWorkloadStorm(t *testing.T) {
-	for seed := int64(1); seed <= 25; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			t.Parallel()
-			runStorm(t, seed)
-		})
+	var seeds []int64
+	if *stormSeed != 0 {
+		seeds = []int64{*stormSeed}
+	} else {
+		for s := int64(1); s <= 25; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	grid := sweep.Grid{Seeds: seeds}
+	points := grid.Points()
+	type outcome struct {
+		checks     int
+		violations []invariant.Violation
+	}
+	outcomes := make([]outcome, len(points))
+	tasks := make([]sweep.Task, len(points))
+	for i, p := range points {
+		i, p := i, p
+		tasks[i] = sweep.Task{
+			Name: grid.Label(p),
+			Run: func(ctx context.Context) (string, error) {
+				checks, viols, err := runStorm(p.Seed)
+				if err != nil {
+					return "", err
+				}
+				outcomes[i] = outcome{checks: checks, violations: viols}
+				return fmt.Sprintf("seed=%d: %d sweeps, %d violations\n",
+					p.Seed, checks, len(viols)), nil
+			},
+		}
+	}
+	results, err := sweep.Run(context.Background(), sweep.Options{}, tasks)
+	if err != nil {
+		t.Fatalf("storm grid: %v", err)
+	}
+	t.Logf("storm grid:\n%s", sweep.Merged(results))
+	for i, p := range points {
+		o := outcomes[i]
+		if o.checks < 10 {
+			t.Errorf("seed %d: watcher ran only %d sweeps", p.Seed, o.checks)
+		}
+		for _, v := range o.violations {
+			t.Errorf("seed %d: %s", p.Seed, v)
+		}
+		if len(o.violations) > 0 || o.checks < 10 {
+			t.Logf("reproduce: go test ./internal/invariant/ -run TestRandomizedWorkloadStorm -storm-seed=%d -v", p.Seed)
+		}
 	}
 }
 
-func runStorm(t *testing.T, seed int64) {
+// runStorm executes one seed's workload-plus-failure storm and returns the
+// oracle outcome. It asserts nothing itself so the sweep engine can run
+// many seeds concurrently; the caller turns violations into test failures.
+func runStorm(seed int64) (checks int, violations []invariant.Violation, err error) {
 	rng := rand.New(rand.NewSource(seed))
 
 	// Mix deployments: most seeds exercise the full ERMS stack (judge,
@@ -61,8 +114,8 @@ func runStorm(t *testing.T, seed int64) {
 	for i := 0; i < nFiles; i++ {
 		p := fmt.Sprintf("/storm/f%02d", i)
 		size := (32 + float64(rng.Intn(192))) * experiments.MB
-		if _, err := c.CreateFile(p, size, 3, -1); err != nil {
-			t.Fatalf("seed %d: create %s: %v", seed, p, err)
+		if _, cerr := c.CreateFile(p, size, 3, -1); cerr != nil {
+			return 0, nil, fmt.Errorf("seed %d: create %s: %w", seed, p, cerr)
 		}
 		paths = append(paths, p)
 	}
@@ -115,16 +168,7 @@ func runStorm(t *testing.T, seed int64) {
 		tb.Manager.Stop()
 	}
 	w.Stop()
-
-	if w.Checks() < 10 {
-		t.Fatalf("seed %d: watcher ran only %d sweeps", seed, w.Checks())
-	}
-	for _, v := range w.Violations() {
-		t.Errorf("seed %d: %s", seed, v)
-	}
-	if t.Failed() {
-		t.Logf("reproduce: go test ./internal/invariant/ -run 'TestRandomizedWorkloadStorm/seed=%d' -v", seed)
-	}
+	return w.Checks(), w.Violations(), nil
 }
 
 // TestWatcherCatchesDataLoss proves the oracle actually fires: a

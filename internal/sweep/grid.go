@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Axis is one swept configuration knob: a name (used in cell labels) and
+// the values it takes. Grids are static declarations, so an axis with no
+// values is a programming error (Points panics).
+type Axis struct {
+	Name   string
+	Values []float64
+}
+
+// Grid is a sweep specification: the cartesian product of Seeds and every
+// Axis. A nil/empty Seeds means one implicit seed-less row (Point.Seed 0,
+// omitted from labels) — for grids that sweep only configuration.
+type Grid struct {
+	Seeds []int64
+	Axes  []Axis
+}
+
+// Point is one cell of a grid: a seed plus one value per axis (parallel
+// to Grid.Axes).
+type Point struct {
+	Seed    int64
+	Values  []float64
+	hasSeed bool
+}
+
+// Size returns the number of cells the grid expands to.
+func (g Grid) Size() int {
+	n := len(g.Seeds)
+	if n == 0 {
+		n = 1
+	}
+	for _, a := range g.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Points expands the grid in its canonical order: seed-major, then each
+// axis in declaration order with the last axis varying fastest (odometer
+// order). The order is part of the determinism contract — it is the
+// submission order, hence the merge order.
+func (g Grid) Points() []Point {
+	for _, a := range g.Axes {
+		if len(a.Values) == 0 {
+			panic(fmt.Sprintf("sweep: axis %q has no values", a.Name))
+		}
+	}
+	seeds := g.Seeds
+	hasSeed := true
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+		hasSeed = false
+	}
+	points := make([]Point, 0, g.Size())
+	counters := make([]int, len(g.Axes))
+	for _, seed := range seeds {
+		for i := range counters {
+			counters[i] = 0
+		}
+		for {
+			vals := make([]float64, len(g.Axes))
+			for i, a := range g.Axes {
+				vals[i] = a.Values[counters[i]]
+			}
+			points = append(points, Point{Seed: seed, Values: vals, hasSeed: hasSeed})
+			// Advance the odometer, last axis fastest.
+			i := len(counters) - 1
+			for ; i >= 0; i-- {
+				counters[i]++
+				if counters[i] < len(g.Axes[i].Values) {
+					break
+				}
+				counters[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return points
+}
+
+// Label renders a point as "seed=3 tau_M=8 eps=0.5" using the grid's axis
+// names — the cell name used in merged output and timing tables.
+func (g Grid) Label(p Point) string {
+	var parts []string
+	if p.hasSeed {
+		parts = append(parts, "seed="+strconv.FormatInt(p.Seed, 10))
+	}
+	for i, a := range g.Axes {
+		if i < len(p.Values) {
+			parts = append(parts, a.Name+"="+strconv.FormatFloat(p.Values[i], 'g', -1, 64))
+		}
+	}
+	if len(parts) == 0 {
+		return "cell"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Value returns the point's value on the named axis (or ok=false when the
+// grid has no such axis) — so cell bodies can read knobs by name instead
+// of positionally.
+func (g Grid) Value(p Point, axis string) (v float64, ok bool) {
+	for i, a := range g.Axes {
+		if a.Name == axis && i < len(p.Values) {
+			return p.Values[i], true
+		}
+	}
+	return 0, false
+}
+
+// Tasks expands the grid into sweep tasks, one per point in canonical
+// order, each running the given cell body.
+func (g Grid) Tasks(run func(ctx context.Context, p Point) (string, error)) []Task {
+	points := g.Points()
+	tasks := make([]Task, len(points))
+	for i, p := range points {
+		p := p
+		tasks[i] = Task{
+			Name: g.Label(p),
+			Run:  func(ctx context.Context) (string, error) { return run(ctx, p) },
+		}
+	}
+	return tasks
+}

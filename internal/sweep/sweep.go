@@ -1,0 +1,186 @@
+// Package sweep runs many independent, individually deterministic
+// simulations concurrently and merges their results in a stable order.
+//
+// Every ERMS experiment is a single-threaded discrete-event simulation:
+// one run is deterministic by construction, but multi-run workloads —
+// every figure behind `figures -fig all`, the 25-seed invariant storm,
+// threshold grids — are embarrassingly parallel across runs. The sweep
+// engine is the one place that parallelism lives: a worker pool executes
+// cells (each building its own system, never sharing simulator state) and
+// results are merged in submission order, so the merged output is
+// byte-identical regardless of worker count or OS scheduling. That is the
+// repo's determinism contract extended across cores; see DESIGN.md §11
+// for what package state may and may not exist to keep it true.
+//
+// Wall-clock and heap measurements are recorded per cell but deliberately
+// kept out of Merged output — timing is the one thing that legitimately
+// varies between runs, so it travels on the side (TimingTable).
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"erms/internal/metrics"
+)
+
+// Task is one sweep cell: a named, self-contained unit of work. Run must
+// build all of its own state (engine, cluster, workload) — cells execute
+// concurrently and may share nothing mutable. The returned string is the
+// cell's contribution to the merged output; it must depend only on the
+// cell's inputs, never on wall-clock time or scheduling.
+type Task struct {
+	Name string
+	Run  func(ctx context.Context) (string, error)
+}
+
+// Result is one cell's outcome. Index is the submission position — the
+// merge key that keeps output stable under any scheduling.
+type Result struct {
+	Index  int
+	Name   string
+	Output string
+	Err    error
+	// Skipped marks cells that never ran: the context was canceled (or a
+	// FailFast error occurred) before a worker picked them up. Err holds
+	// the cancellation cause.
+	Skipped bool
+	// Wall is the cell's wall-clock run time. Not part of Merged output.
+	Wall time.Duration
+	// HeapBytes is the process-wide live heap (runtime.MemStats.HeapAlloc)
+	// sampled when the cell finished — a per-cell peak proxy at
+	// Parallel=1, indicative only when cells share the process. Not part
+	// of Merged output.
+	HeapBytes uint64
+}
+
+// Options tunes a sweep run.
+type Options struct {
+	// Parallel is the worker count; <= 0 means runtime.NumCPU().
+	Parallel int
+	// FailFast cancels the remaining grid on the first cell error. The
+	// default (collect-all) runs every cell and reports every error.
+	// Note that under FailFast the set of cells that got to run depends
+	// on scheduling, so merged output is only worker-count-invariant for
+	// clean runs; collect-all keeps it invariant even with (deterministic)
+	// per-cell errors.
+	FailFast bool
+}
+
+// Run executes the tasks on a worker pool and returns one Result per task,
+// in submission order. The returned error is nil when every cell
+// succeeded; otherwise it is the first error in submission order (which,
+// because results are merged by index, is itself deterministic under
+// collect-all). Cancelling ctx stops the sweep at cell granularity: cells
+// already running finish, unstarted cells come back Skipped.
+func Run(ctx context.Context, opts Options, tasks []Task) ([]Result, error) {
+	results := make([]Result, len(tasks))
+	if len(tasks) == 0 {
+		return results, nil
+	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				t := tasks[i]
+				r := Result{Index: i, Name: t.Name}
+				if err := ctx.Err(); err != nil {
+					r.Err, r.Skipped = err, true
+					results[i] = r
+					continue
+				}
+				start := time.Now()
+				r.Output, r.Err = t.Run(ctx)
+				r.Wall = time.Since(start)
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				r.HeapBytes = ms.HeapAlloc
+				results[i] = r
+				if r.Err != nil && opts.FailFast {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := range tasks {
+		indexes <- i
+	}
+	close(indexes)
+	wg.Wait()
+
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			if results[i].Skipped {
+				return results, fmt.Errorf("sweep: cell %q skipped: %w", results[i].Name, err)
+			}
+			return results, fmt.Errorf("sweep: cell %q: %w", results[i].Name, err)
+		}
+	}
+	return results, nil
+}
+
+// Merged concatenates cell outputs in submission order — the
+// deterministic, worker-count-invariant view of a sweep. Cells that
+// errored contribute a stable one-line marker instead of output; skipped
+// cells contribute a skip marker (only reachable under FailFast or
+// external cancellation).
+func Merged(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		switch {
+		case r.Skipped:
+			fmt.Fprintf(&b, "%s: skipped\n", r.Name)
+		case r.Err != nil:
+			fmt.Fprintf(&b, "%s: error: %v\n", r.Name, r.Err)
+		default:
+			b.WriteString(r.Output)
+		}
+	}
+	return b.String()
+}
+
+// TimingTable renders the per-cell wall-clock and heap measurements —
+// the side channel that is allowed to vary run to run. The footer rows
+// give the serial-equivalent total (sum of cell walls) and the critical
+// path (the slowest cell): sum/max bounds the speedup any worker count
+// can achieve on this grid.
+func TimingTable(results []Result) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Sweep timing (not part of merged output)",
+		Columns: []string{"cell", "wall_s", "heap_MB"},
+	}
+	var sum, max time.Duration
+	for _, r := range results {
+		status := ""
+		if r.Skipped {
+			status = " [skipped]"
+		} else if r.Err != nil {
+			status = " [error]"
+		}
+		t.AddRowValues(r.Name+status, r.Wall.Seconds(), float64(r.HeapBytes)/(1<<20))
+		sum += r.Wall
+		if r.Wall > max {
+			max = r.Wall
+		}
+	}
+	t.AddRowValues("total (serial-equivalent)", sum.Seconds(), "")
+	t.AddRowValues("critical path (slowest cell)", max.Seconds(), "")
+	return t
+}

@@ -1,0 +1,300 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMergeOrderUnderShuffledCompletion is the heart of the contract:
+// cells finish in a scrambled order (later cells sleep less), yet Merged
+// output is exactly submission order.
+func TestMergeOrderUnderShuffledCompletion(t *testing.T) {
+	const n = 24
+	rng := rand.New(rand.NewSource(7))
+	sleeps := make([]time.Duration, n)
+	for i := range sleeps {
+		sleeps[i] = time.Duration(rng.Intn(20)) * time.Millisecond
+	}
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Name: fmt.Sprintf("cell%02d", i),
+			Run: func(ctx context.Context) (string, error) {
+				time.Sleep(sleeps[i])
+				return fmt.Sprintf("out%02d\n", i), nil
+			},
+		}
+	}
+	results, err := Run(context.Background(), Options{Parallel: 8}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&want, "out%02d\n", i)
+	}
+	if got := Merged(results); got != want.String() {
+		t.Errorf("merged output out of order:\n%s", got)
+	}
+	for i, r := range results {
+		if r.Index != i || r.Name != fmt.Sprintf("cell%02d", i) {
+			t.Errorf("result %d misplaced: %+v", i, r)
+		}
+		if r.Wall < 0 || r.Err != nil || r.Skipped {
+			t.Errorf("result %d unexpected state: %+v", i, r)
+		}
+	}
+}
+
+// TestWorkerCountInvariance runs the same grid at -parallel 1 and
+// -parallel 8 and asserts byte-identical merged output (the golden this
+// repo's `make sweep` runs under -race).
+func TestWorkerCountInvariance(t *testing.T) {
+	g := Grid{
+		Seeds: []int64{1, 2, 3},
+		Axes: []Axis{
+			{Name: "tau_M", Values: []float64{8, 4}},
+			{Name: "eps", Values: []float64{0.25, 0.75}},
+		},
+	}
+	// The cell body is deterministic but stateful: a seeded PRNG walk
+	// whose result depends on every input.
+	body := func(ctx context.Context, p Point) (string, error) {
+		rng := rand.New(rand.NewSource(p.Seed + int64(p.Values[0]*1000) + int64(p.Values[1]*7)))
+		sum := 0
+		for i := 0; i < 1000; i++ {
+			sum += rng.Intn(100)
+		}
+		return fmt.Sprintf("seed=%d tau=%g eps=%g sum=%d\n", p.Seed, p.Values[0], p.Values[1], sum), nil
+	}
+	var outs []string
+	for _, par := range []int{1, 8} {
+		results, err := Run(context.Background(), Options{Parallel: par}, g.Tasks(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, Merged(results))
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("merged output differs between -parallel 1 and -parallel 8:\n--- 1:\n%s--- 8:\n%s", outs[0], outs[1])
+	}
+	if !strings.HasPrefix(outs[0], "seed=1 tau=8 eps=0.25") {
+		t.Errorf("first cell not in canonical grid order:\n%s", outs[0])
+	}
+}
+
+// TestCollectAllRunsEverything: with the default policy every cell runs
+// even when early ones fail, the first error (in submission order) is
+// returned, and failing cells leave a stable marker in Merged output.
+func TestCollectAllRunsEverything(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Name: fmt.Sprintf("cell%d", i),
+			Run: func(ctx context.Context) (string, error) {
+				ran.Add(1)
+				if i%3 == 1 { // cells 1, 4, 7 fail
+					return "", boom
+				}
+				return fmt.Sprintf("ok%d\n", i), nil
+			},
+		}
+	}
+	results, err := Run(context.Background(), Options{Parallel: 4}, tasks)
+	if !errors.Is(err, boom) || err == nil || !strings.Contains(err.Error(), "cell1") {
+		t.Errorf("want first error from cell1, got %v", err)
+	}
+	if ran.Load() != 10 {
+		t.Errorf("collect-all ran %d/10 cells", ran.Load())
+	}
+	m := Merged(results)
+	if !strings.Contains(m, "cell4: error: boom\n") || !strings.Contains(m, "ok9\n") {
+		t.Errorf("merged output missing markers:\n%s", m)
+	}
+}
+
+// TestFailFastSkipsRemaining: a failing cell cancels the rest of the grid;
+// unstarted cells come back Skipped with the cancellation as cause.
+func TestFailFastSkipsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	tasks := make([]Task, 50)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Name: fmt.Sprintf("cell%d", i),
+			Run: func(ctx context.Context) (string, error) {
+				ran.Add(1)
+				if i == 0 {
+					return "", boom
+				}
+				time.Sleep(time.Millisecond)
+				return "ok\n", nil
+			},
+		}
+	}
+	results, err := Run(context.Background(), Options{Parallel: 2, FailFast: true}, tasks)
+	if !errors.Is(err, boom) {
+		t.Errorf("want boom, got %v", err)
+	}
+	if n := ran.Load(); n == 50 {
+		t.Error("fail-fast still ran every cell")
+	}
+	skipped := 0
+	for _, r := range results {
+		if r.Skipped {
+			skipped++
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Errorf("skipped cell %s has cause %v", r.Name, r.Err)
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Error("no cells were skipped")
+	}
+}
+
+// TestCancellationMidGrid: canceling the context stops the sweep at cell
+// granularity and Run reports the context error.
+func TestCancellationMidGrid(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	tasks := make([]Task, 20)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Name: fmt.Sprintf("cell%d", i),
+			Run: func(ctx context.Context) (string, error) {
+				if i == 0 {
+					started <- struct{}{}
+					<-ctx.Done() // simulate a cell that observes cancellation
+					return "", ctx.Err()
+				}
+				time.Sleep(2 * time.Millisecond)
+				return "ok\n", nil
+			},
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	results, err := Run(ctx, Options{Parallel: 2}, tasks)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+	skipped := 0
+	for _, r := range results {
+		if r.Skipped {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("cancellation mid-grid skipped nothing")
+	}
+}
+
+// TestGridCanonicalOrder pins the expansion order: seed-major, last axis
+// fastest — the submission (hence merge) order documented in DESIGN.md.
+func TestGridCanonicalOrder(t *testing.T) {
+	g := Grid{
+		Seeds: []int64{1, 2},
+		Axes: []Axis{
+			{Name: "a", Values: []float64{10, 20}},
+			{Name: "b", Values: []float64{1, 2, 3}},
+		},
+	}
+	if g.Size() != 12 {
+		t.Fatalf("size = %d, want 12", g.Size())
+	}
+	points := g.Points()
+	if len(points) != 12 {
+		t.Fatalf("points = %d, want 12", len(points))
+	}
+	want := []string{
+		"seed=1 a=10 b=1", "seed=1 a=10 b=2", "seed=1 a=10 b=3",
+		"seed=1 a=20 b=1", "seed=1 a=20 b=2", "seed=1 a=20 b=3",
+		"seed=2 a=10 b=1", "seed=2 a=10 b=2", "seed=2 a=10 b=3",
+		"seed=2 a=20 b=1", "seed=2 a=20 b=2", "seed=2 a=20 b=3",
+	}
+	for i, p := range points {
+		if got := g.Label(p); got != want[i] {
+			t.Errorf("point %d label = %q, want %q", i, got, want[i])
+		}
+	}
+	if v, ok := g.Value(points[4], "b"); !ok || v != 2 {
+		t.Errorf("Value(b) = %v, %v", v, ok)
+	}
+	if _, ok := g.Value(points[0], "nope"); ok {
+		t.Error("Value on unknown axis reported ok")
+	}
+}
+
+// TestGridWithoutSeeds: a config-only grid omits the seed from labels and
+// still expands.
+func TestGridWithoutSeeds(t *testing.T) {
+	g := Grid{Axes: []Axis{{Name: "r", Values: []float64{2, 4}}}}
+	points := g.Points()
+	if len(points) != 2 || g.Size() != 2 {
+		t.Fatalf("points = %d size = %d, want 2", len(points), g.Size())
+	}
+	if got := g.Label(points[1]); got != "r=4" {
+		t.Errorf("label = %q", got)
+	}
+	empty := Grid{}
+	if pts := empty.Points(); len(pts) != 1 || empty.Label(pts[0]) != "cell" {
+		t.Errorf("empty grid points = %v", pts)
+	}
+}
+
+// TestGridEmptyAxisPanics: grids are static declarations; an empty axis is
+// a programming error.
+func TestGridEmptyAxisPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty axis")
+		}
+	}()
+	Grid{Axes: []Axis{{Name: "x"}}}.Points()
+}
+
+// TestTimingTable: measurements render, markers appear, and footer rows
+// carry the serial-equivalent and critical-path totals.
+func TestTimingTable(t *testing.T) {
+	results := []Result{
+		{Name: "a", Wall: 100 * time.Millisecond, HeapBytes: 4 << 20},
+		{Name: "b", Wall: 300 * time.Millisecond, Err: errors.New("x")},
+		{Name: "c", Skipped: true, Err: context.Canceled},
+	}
+	out := TimingTable(results).String()
+	for _, want := range []string{"a", "b [error]", "c [skipped]", "total (serial-equivalent)", "critical path (slowest cell)", "0.4000", "0.3000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timing table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunDefaults: zero Options pick NumCPU workers and an empty task list
+// is a no-op.
+func TestRunDefaults(t *testing.T) {
+	if rs, err := Run(context.Background(), Options{}, nil); err != nil || len(rs) != 0 {
+		t.Errorf("empty run: %v %v", rs, err)
+	}
+	rs, err := Run(context.Background(), Options{}, []Task{{
+		Name: "only",
+		Run:  func(context.Context) (string, error) { return "x", nil },
+	}})
+	if err != nil || len(rs) != 1 || rs[0].Output != "x" || rs[0].HeapBytes == 0 {
+		t.Errorf("single run: %+v %v", rs, err)
+	}
+}
