@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test race check bench bench-accept benchdiff lint cover cover-check \
-	figures fuzz full-scale soak sweep runtime-table examples clean
+	figures fuzz failover full-scale soak sweep runtime-table examples clean
 
 all: build vet test
 
@@ -34,6 +34,13 @@ sweep:
 runtime-table:
 	$(GO) run ./cmd/figures -fig all -runtime-table > runtime_table.md
 	@cat runtime_table.md
+
+# Failover gate: namenode crashes mid-storm (checkpoint + journal-tail
+# standby rebuild), the 10-seed checkpoint-resume equivalence property,
+# and the root-package promotion path — all under the race detector.
+failover:
+	$(GO) test -race -run 'TestFailoverMidStorm|TestFailoverDemo|TestCheckpointResumeEquivalence|TestSystemCheckpointFailover' \
+		./internal/chaos/ ./internal/experiments/ ./internal/hdfs/ ./.
 
 # Chaos soak: six virtual hours of crashes, partitions, and silent
 # corruption under heartbeat detection, across a 3-seed matrix, with the
@@ -90,13 +97,16 @@ figures:
 full-scale:
 	ERMS_FULL=1 $(GO) test -run TestPaperScale -v ./internal/experiments/
 
-# Short fuzzing passes over the parsers and the trace decoder.
+# Short fuzzing passes over the parsers, the trace decoder, and the
+# checkpoint decoder (corrupt bytes must error, never panic or
+# half-restore).
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/auditlog/
 	$(GO) test -fuzz=FuzzParseQuery -fuzztime=30s ./internal/cep/
 	$(GO) test -fuzz=FuzzParseExpr -fuzztime=30s ./internal/classad/
 	$(GO) test -fuzz=FuzzParseAd -fuzztime=30s ./internal/classad/
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/workload/
+	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=30s ./internal/hdfs/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,119 @@
+package erms_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"erms"
+)
+
+// driveSystem runs a journaled system through enough churn that the judge
+// makes decisions and replicas move.
+func driveSystem(t *testing.T) *erms.System {
+	t.Helper()
+	sys := erms.NewSystem(erms.Options{EnableJournal: true})
+	if sys.Journal() == nil {
+		t.Fatal("EnableJournal did not attach a journal")
+	}
+	for i, path := range []string{"/data/a", "/data/b", "/data/c"} {
+		if err := sys.CreateFileOn(path, 256*erms.MB, 3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		sys.Read(i%10, "/data/a", nil)
+	}
+	sys.RunFor(10 * time.Minute)
+	return sys
+}
+
+func TestSystemCheckpointFailover(t *testing.T) {
+	sys := driveSystem(t)
+
+	// Mid-run snapshot: checkpoint + journal position.
+	var ckpt bytes.Buffer
+	if err := sys.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	seq := sys.Journal().NextSeq()
+
+	// The primary keeps working after the snapshot.
+	if err := sys.Delete("/data/b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		sys.Read(i%10, "/data/c", nil)
+	}
+	sys.RunFor(10 * time.Minute)
+
+	// It crashes; the standby restores the checkpoint and replays the tail.
+	tail := sys.Journal().Tail(seq)
+	if tail == nil {
+		t.Fatal("journal tail unavailable")
+	}
+	standby, err := erms.NewStandby(erms.Options{EnableJournal: true},
+		bytes.NewReader(ckpt.Bytes()), tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := standby.StateDigest(), sys.StateDigest(); got != want {
+		t.Fatalf("standby digest %#x != primary %#x (tail: %d entries)", got, want, len(tail))
+	}
+	if errs := standby.HDFS().ConsistencyErrors(); errs != nil {
+		t.Fatalf("standby inconsistent: %v", errs)
+	}
+	if standby.Manager() == nil {
+		t.Fatal("standby has no ERMS manager")
+	}
+	if standby.Journal() == nil || standby.Journal().NextSeq() != sys.Journal().NextSeq() {
+		t.Fatal("standby journal does not continue the primary's sequence")
+	}
+	if standby.Replication("/data/a") != sys.Replication("/data/a") {
+		t.Fatalf("replication of /data/a: standby %d, primary %d",
+			standby.Replication("/data/a"), sys.Replication("/data/a"))
+	}
+
+	// The promoted standby serves: reads work and the judge re-warms.
+	standby.Read(1, "/data/a", nil)
+	standby.RunFor(5 * time.Minute)
+	if errs := standby.HDFS().ConsistencyErrors(); errs != nil {
+		t.Fatalf("standby broke after promotion: %v", errs)
+	}
+}
+
+func TestSystemRestoreErrors(t *testing.T) {
+	sys := driveSystem(t)
+	var ckpt bytes.Buffer
+	if err := sys.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mismatched options fail the config digest.
+	if _, err := erms.NewStandby(erms.Options{Nodes: 24},
+		bytes.NewReader(ckpt.Bytes()), nil); err == nil ||
+		!strings.Contains(err.Error(), "config digest") {
+		t.Fatalf("standby with wrong options: %v", err)
+	}
+
+	// A corrupted checkpoint is rejected outright.
+	bad := append([]byte(nil), ckpt.Bytes()...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := erms.NewStandby(erms.Options{}, bytes.NewReader(bad), nil); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+
+	// Restore into a used system is refused.
+	if err := sys.Restore(bytes.NewReader(ckpt.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "pristine") {
+		t.Fatalf("restore into used system: %v", err)
+	}
+
+	// A tail from the wrong position is refused.
+	if _, err := erms.NewStandby(erms.Options{}, bytes.NewReader(ckpt.Bytes()),
+		[]erms.JournalEntry{{Seq: 1}}); err == nil ||
+		!strings.Contains(err.Error(), "checkpoint expects") {
+		t.Fatalf("standby with misaligned tail: %v", err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -35,10 +36,13 @@ import (
 
 // figOpts carries the flag values the figure bodies close over.
 type figOpts struct {
-	seed     int64
-	full     bool
-	plot     bool
-	parallel int // inner fan-out for figures that sweep a grid themselves
+	seed       int64
+	full       bool
+	plot       bool
+	parallel   int    // inner fan-out for figures that sweep a grid themselves
+	cores      int    // runtime.NumCPU at startup; tests pin it
+	timing     bool   // append non-byte-stable timing tables to figure output
+	scaleCache string // checkpoint cache dir for the scale sweep ("" = no cache)
 }
 
 // task adapts a figure body to a sweep cell. Bodies print nothing: they
@@ -196,6 +200,21 @@ func buildTasks(fig string, o figOpts) (tasks []sweep.Task, notes []string) {
 			return sprintln(experiments.ReliabilityTable(experiments.Reliability(trials, nil, o.seed))), nil
 		}))
 	}
+	if want("failover") {
+		cfg := experiments.FailoverConfig{Seed: o.seed}
+		if o.full {
+			cfg.Duration = 2 * time.Hour
+			cfg.Crashes = 8
+		}
+		tasks = append(tasks, task("failover", func() (string, error) {
+			rows := experiments.FailoverDemo(cfg)
+			out := sprintln(experiments.FailoverTable(rows))
+			if o.timing {
+				out += sprintln(experiments.FailoverTimingTable(rows))
+			}
+			return out, nil
+		}))
+	}
 	if want("durability") {
 		cfg := experiments.DurabilityConfig{Seed: o.seed}
 		if o.full {
@@ -223,19 +242,26 @@ func buildTasks(fig string, o figOpts) (tasks []sweep.Task, notes []string) {
 			return sprintln(experiments.ThresholdSweepTable(cfg, rows)), nil
 		}))
 	}
-	// The scale sweep runs only when asked for by name: its 1,000-node /
-	// 1M-file point is deliberately heavy and would dominate `-fig all`.
-	if strings.EqualFold(fig, "scale") {
-		cfg := experiments.ScaleConfig{Seed: o.seed}
+	// The scale sweep joins `-fig all` on multi-core machines: the
+	// checkpoint cache turns its dominant cost — building the 1,000-node /
+	// 1M-file namespace — into a sub-second restore, and the fan-out
+	// absorbs the rest. Single-core runs still get it by name.
+	if strings.EqualFold(fig, "scale") || (fig == "all" && o.cores > 1) {
+		cfg := experiments.ScaleConfig{Seed: o.seed, CacheDir: o.scaleCache}
 		if o.full {
 			cfg.Reads = 50000
 		}
 		tasks = append(tasks, task("scale", func() (string, error) {
-			return sprintln(experiments.ScaleTable(experiments.ScaleDemo(cfg))), nil
+			rows := experiments.ScaleDemo(cfg)
+			out := sprintln(experiments.ScaleTable(rows))
+			if o.timing {
+				out += sprintln(experiments.ScaleTimingTable(rows))
+			}
+			return out, nil
 		}))
 	} else if fig == "all" {
 		notes = append(notes,
-			"scale: skipped (the 1,000-datanode / 1M-file point is deliberately heavy; run with -fig scale)")
+			"scale: skipped (single core; the 1,000-datanode / 1M-file point would dominate — run with -fig scale)")
 	}
 	if want("trace") {
 		tasks = append(tasks, task("trace", func() (string, error) {
@@ -255,16 +281,19 @@ func buildTasks(fig string, o figOpts) (tasks []sweep.Task, notes []string) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, durability, sweep, trace, scale, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, failover, durability, sweep, trace, scale, all")
 	seed := flag.Int64("seed", 1, "workload seed")
 	full := flag.Bool("full", false, "paper-scale runs (slower) instead of quick scale")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the series figures (4, 5)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "sweep workers for the figure fan-out (1 = serial; merged output is identical either way)")
-	timing := flag.Bool("timing", false, "append the per-figure timing table (wall clock and heap — not byte-stable)")
+	timing := flag.Bool("timing", false, "append the per-figure timing tables (wall clock and heap — not byte-stable)")
 	runtimeTable := flag.Bool("runtime-table", false, "time every selected figure serial vs parallel and print a Markdown runtime table (see EXPERIMENTS.md)")
+	scaleCache := flag.String("scale-cache", filepath.Join(os.TempDir(), "erms-scale-cache"),
+		"checkpoint cache dir for the scale sweep's namespaces (empty = rebuild every run)")
 	flag.Parse()
 
-	opts := figOpts{seed: *seed, full: *full, plot: *plot, parallel: *parallel}
+	opts := figOpts{seed: *seed, full: *full, plot: *plot, parallel: *parallel,
+		cores: runtime.NumCPU(), timing: *timing, scaleCache: *scaleCache}
 	tasks, notes := buildTasks(*fig, opts)
 	if len(tasks) == 0 {
 		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
@@ -296,6 +325,7 @@ func main() {
 // table EXPERIMENTS.md embeds and CI publishes. It also cross-checks the
 // determinism contract: both runs' merged outputs must be byte-identical.
 func runtimeTableMarkdown(fig string, o figOpts) string {
+	o.timing = false // timing tables are not byte-stable; keep them out of the identity check
 	serialOpts := o
 	serialOpts.parallel = 1 // inner grids run serial too, so the serial column is honest
 	serialTasks, _ := buildTasks(fig, serialOpts)

@@ -18,23 +18,33 @@ func names(tasks []sweep.Task) []string {
 }
 
 func TestBuildTasksSelection(t *testing.T) {
-	opts := figOpts{seed: 1, parallel: 1}
+	opts := figOpts{seed: 1, parallel: 1, cores: 1}
 
 	all, notes := buildTasks("all", opts)
 	got := strings.Join(names(all), " ")
 	for _, want := range []string{"3", "4", "5", "6", "7", "8", "9",
 		"ablation:placement", "ablation:idle", "ablation:thresholds",
 		"ablation:predictive", "ablation:speculation",
-		"reliability", "durability", "sweep", "trace"} {
+		"reliability", "failover", "durability", "sweep", "trace"} {
 		if !strings.Contains(" "+got+" ", " "+want+" ") {
 			t.Errorf("-fig all missing task %q (got %s)", want, got)
 		}
 	}
 	if strings.Contains(got, "scale") {
-		t.Errorf("-fig all includes scale: %s", got)
+		t.Errorf("single-core -fig all includes scale: %s", got)
 	}
 	if len(notes) != 1 || !strings.Contains(notes[0], "run with -fig scale") {
 		t.Errorf("-fig all notes = %v, want the scale exclusion note", notes)
+	}
+
+	// On a multi-core machine the checkpoint cache makes scale cheap
+	// enough to ride along with everything else — no exclusion note.
+	multi, notes := buildTasks("all", figOpts{seed: 1, parallel: 4, cores: 8})
+	if !strings.Contains(strings.Join(names(multi), " "), "scale") {
+		t.Errorf("multi-core -fig all missing scale: %s", strings.Join(names(multi), " "))
+	}
+	if len(notes) != 0 {
+		t.Errorf("multi-core -fig all notes = %v, want none", notes)
 	}
 
 	one, notes := buildTasks("3a", opts)

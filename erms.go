@@ -34,6 +34,7 @@ package erms
 import (
 	"time"
 
+	"erms/internal/auditlog"
 	"erms/internal/core"
 	"erms/internal/hdfs"
 	"erms/internal/mapred"
@@ -118,6 +119,11 @@ type Options struct {
 	// Tracer().WriteChromeTrace. Off by default so the hot path stays
 	// allocation-free.
 	EnableTrace bool
+	// EnableJournal attaches a write-ahead journal recording every durable
+	// namenode mutation; Checkpoint + Journal().Tail form the failover
+	// story (see NewStandby). Off by default: the journal grows with every
+	// mutation and most experiments never fail the namenode over.
+	EnableJournal bool
 }
 
 // System bundles a simulated deployment: engine, HDFS, MapReduce runtime,
@@ -133,6 +139,17 @@ type System struct {
 
 // NewSystem builds a deployment from opts.
 func NewSystem(opts Options) *System {
+	s := newBase(opts)
+	if opts.EnableJournal {
+		s.cluster.SetJournal(auditlog.NewJournal())
+	}
+	s.attachManager(opts)
+	return s
+}
+
+// newBase builds everything except the ERMS manager and the journal, so
+// NewStandby can restore state before either attaches.
+func newBase(opts Options) *System {
 	if opts.Racks <= 0 {
 		opts.Racks = 3
 	}
@@ -177,14 +194,18 @@ func NewSystem(opts Options) *System {
 		s.tracer = trace.New(engine.Now)
 		cluster.SetTracer(s.tracer)
 	}
-	if !opts.DisableERMS {
-		s.manager = core.New(cluster, core.Config{
-			Thresholds:  opts.Thresholds,
-			JudgePeriod: opts.JudgePeriod,
-			Registry:    registry,
-		})
-	}
 	return s
+}
+
+func (s *System) attachManager(opts Options) {
+	if opts.DisableERMS {
+		return
+	}
+	s.manager = core.New(s.cluster, core.Config{
+		Thresholds:  opts.Thresholds,
+		JudgePeriod: opts.JudgePeriod,
+		Registry:    s.registry,
+	})
 }
 
 // Engine returns the simulation engine (for scheduling custom events).

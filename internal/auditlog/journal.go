@@ -1,0 +1,467 @@
+package auditlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// The human-readable audit log (Record) is what the Data Judge consumes; it
+// names files by path and deliberately omits block-level detail. Failover
+// needs more: a journal of every namespace-changing operation, precise
+// enough that replaying it against a checkpoint reconstructs the namenode's
+// metadata bit for bit. Entry is that record — a typed write-ahead log
+// entry, the second product of the same mutation chokepoints that feed the
+// audit log.
+
+// Op identifies the kind of namespace mutation a journal Entry records.
+type Op uint8
+
+// The journaled operations. Together they cover every field of namenode
+// metadata that a checkpoint serializes; anything not expressible here
+// (corruption ground truth, crash flags, heartbeat ages) is by design
+// invisible to a standby and excluded from the replayable state digest.
+const (
+	opInvalid Op = iota
+	// OpFileAdd interns a new INode: Path, Size, Target (replication),
+	// File (the intern ID the live namenode assigned, for validation).
+	// Time doubles as the file's creation stamp.
+	OpFileAdd
+	// OpFileDrop removes file File (Path kept for readability). Its blocks
+	// are dropped by preceding OpBlockDrop entries.
+	OpFileDrop
+	// OpRename moves file File from Path to Dst.
+	OpRename
+	// OpSetTarget sets file File's target replication to Target.
+	OpSetTarget
+	// OpEncodeGeom records erasure geometry (K, M) chosen for file File.
+	OpEncodeGeom
+	// OpEncodeDone marks file File's encoding complete (Encoded=true).
+	OpEncodeDone
+	// OpDecodeStart clears file File's Encoded flag (geometry is kept,
+	// matching DecodeFile).
+	OpDecodeStart
+	// OpClearGeom clears file File's erasure geometry (CancelEncoding).
+	OpClearGeom
+	// OpBlockAdd mints block Block for file File: Size, Index, and for
+	// parity blocks Flag=true with stripe Group.
+	OpBlockAdd
+	// OpBlockDrop deletes block Block and removes it from its owner's
+	// block or parity list.
+	OpBlockDrop
+	// OpReplicaAdd lands a replica of block Block on node Node.
+	OpReplicaAdd
+	// OpReplicaDrop removes block Block's replica from node Node.
+	OpReplicaDrop
+	// OpNodeState transitions node Node to lifecycle state State
+	// (hdfs.NodeState numeric value). Flag marks a restart-style fresh
+	// start that also wipes the node's reported-corrupt set.
+	OpNodeState
+	// OpNodeStale flips node Node's stale flag to Flag.
+	OpNodeStale
+	// OpReported records that node Node reported its last copy of block
+	// Block corrupt (the keep-last-copy branch of corruption handling).
+	OpReported
+	opSentinel // one past the last valid op
+)
+
+var opNames = [...]string{
+	OpFileAdd:     "fileAdd",
+	OpFileDrop:    "fileDrop",
+	OpRename:      "rename",
+	OpSetTarget:   "setTarget",
+	OpEncodeGeom:  "encodeGeom",
+	OpEncodeDone:  "encodeDone",
+	OpDecodeStart: "decodeStart",
+	OpClearGeom:   "clearGeom",
+	OpBlockAdd:    "blockAdd",
+	OpBlockDrop:   "blockDrop",
+	OpReplicaAdd:  "replicaAdd",
+	OpReplicaDrop: "replicaDrop",
+	OpNodeState:   "nodeState",
+	OpNodeStale:   "nodeStale",
+	OpReported:    "reported",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o names a known operation.
+func (o Op) Valid() bool { return o > opInvalid && o < opSentinel }
+
+// Entry is one write-ahead journal record. Fields are a union across ops;
+// each Op documents which it reads. Unused fields stay zero and cost one
+// byte each on the wire.
+type Entry struct {
+	Seq    uint64        // assigned by Journal.Append; dense, starts at 1
+	Time   time.Duration // virtual time of the mutation
+	Op     Op
+	Path   string  // file path (OpFileAdd, OpFileDrop, OpRename source)
+	Dst    string  // rename destination
+	File   int     // interned file ID
+	Block  int64   // block ID
+	Node   int     // datanode ID
+	State  int     // node lifecycle state (OpNodeState)
+	Target int     // replication target (OpFileAdd, OpSetTarget)
+	K      int     // erasure data shards (OpEncodeGeom)
+	M      int     // erasure parity shards (OpEncodeGeom)
+	Index  int     // block index within its file (OpBlockAdd)
+	Group  int     // parity stripe group (OpBlockAdd)
+	Size   float64 // bytes (OpFileAdd file size, OpBlockAdd block size)
+	Flag   bool    // op-specific: parity, stale, fresh-restart
+}
+
+// String renders the entry for debugging and journal dumps.
+func (e Entry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s %s", e.Seq, e.Time, e.Op)
+	switch e.Op {
+	case OpFileAdd:
+		fmt.Fprintf(&b, " file=%d path=%s size=%.0f target=%d", e.File, e.Path, e.Size, e.Target)
+	case OpFileDrop:
+		fmt.Fprintf(&b, " file=%d path=%s", e.File, e.Path)
+	case OpRename:
+		fmt.Fprintf(&b, " file=%d %s -> %s", e.File, e.Path, e.Dst)
+	case OpSetTarget:
+		fmt.Fprintf(&b, " file=%d target=%d", e.File, e.Target)
+	case OpEncodeGeom:
+		fmt.Fprintf(&b, " file=%d k=%d m=%d", e.File, e.K, e.M)
+	case OpEncodeDone, OpDecodeStart, OpClearGeom:
+		fmt.Fprintf(&b, " file=%d", e.File)
+	case OpBlockAdd:
+		fmt.Fprintf(&b, " block=%d file=%d index=%d size=%.0f parity=%t group=%d",
+			e.Block, e.File, e.Index, e.Size, e.Flag, e.Group)
+	case OpBlockDrop:
+		fmt.Fprintf(&b, " block=%d", e.Block)
+	case OpReplicaAdd, OpReplicaDrop, OpReported:
+		fmt.Fprintf(&b, " block=%d node=%d", e.Block, e.Node)
+	case OpNodeState:
+		fmt.Fprintf(&b, " node=%d state=%d fresh=%t", e.Node, e.State, e.Flag)
+	case OpNodeStale:
+		fmt.Fprintf(&b, " node=%d stale=%t", e.Node, e.Flag)
+	}
+	return b.String()
+}
+
+// Journal accumulates entries in memory, stamping each with a dense
+// sequence number. A checkpoint records the journal sequence at snapshot
+// time; a standby restores the checkpoint and replays Tail(seq) to catch
+// up — exactly the HDFS fsimage + edits model.
+type Journal struct {
+	entries []Entry
+	start   uint64 // Seq of entries[0]; valid when len(entries) > 0
+	next    uint64 // Seq the next Append will assign
+	subs    []func(Entry)
+}
+
+// NewJournal returns an empty journal whose first entry will get Seq 1.
+func NewJournal() *Journal {
+	return &Journal{next: 1}
+}
+
+// NewJournalAt returns an empty journal whose first entry will get Seq
+// seq. A promoted standby uses it to continue the failed namenode's
+// sequence numbering after replaying its tail.
+func NewJournalAt(seq uint64) *Journal {
+	if seq == 0 {
+		seq = 1
+	}
+	return &Journal{next: seq}
+}
+
+// Append stamps e with the next sequence number, stores it, and notifies
+// subscribers. The stamped entry is returned.
+func (j *Journal) Append(e Entry) Entry {
+	e.Seq = j.next
+	j.next++
+	if len(j.entries) == 0 {
+		j.start = e.Seq
+	}
+	j.entries = append(j.entries, e)
+	for _, fn := range j.subs {
+		fn(e)
+	}
+	return e
+}
+
+// Subscribe registers fn to receive every future entry.
+func (j *Journal) Subscribe(fn func(Entry)) { j.subs = append(j.subs, fn) }
+
+// NextSeq returns the sequence number the next Append will assign. A
+// checkpoint taken now pairs with Tail(NextSeq()) later.
+func (j *Journal) NextSeq() uint64 { return j.next }
+
+// Len returns the number of retained entries.
+func (j *Journal) Len() int { return len(j.entries) }
+
+// Entries returns the retained entries. The slice is shared; callers must
+// not mutate it.
+func (j *Journal) Entries() []Entry { return j.entries }
+
+// Tail returns the retained entries with Seq >= from. It returns nil if
+// entries before from were already truncated away and from predates the
+// retained window's start — callers should treat that as "tail
+// unavailable" and fall back to a full checkpoint. An empty (but non-nil)
+// slice means the tail is valid and simply has nothing to replay.
+func (j *Journal) Tail(from uint64) []Entry {
+	if from < j.start {
+		return nil
+	}
+	idx := int(from - j.start)
+	if idx >= len(j.entries) {
+		return []Entry{}
+	}
+	return j.entries[idx:]
+}
+
+// TruncateTo discards retained entries with Seq < upTo, bounding memory
+// once a checkpoint has made them redundant. Sequence numbering continues
+// unaffected, and the retained window's start advances to upTo even when
+// everything is dropped — Tail(upTo) stays valid (and empty) afterwards.
+func (j *Journal) TruncateTo(upTo uint64) {
+	if upTo <= j.start {
+		return
+	}
+	if upTo > j.next {
+		upTo = j.next
+	}
+	drop := int(upTo - j.start)
+	if drop >= len(j.entries) {
+		j.entries = j.entries[:0]
+		j.start = upTo
+		return
+	}
+	kept := make([]Entry, len(j.entries)-drop)
+	copy(kept, j.entries[drop:])
+	j.entries = kept
+	j.start = upTo
+}
+
+// Journal wire format: a magic/version header, a varint entry count, each
+// entry's fields as varints (strings length-prefixed, floats as IEEE bits),
+// and a trailing FNV-1a checksum of everything before it. The format shares
+// its versioning discipline with the checkpoint: any change to entry
+// semantics bumps JournalVersion, and decoders reject versions they do not
+// know rather than guessing.
+const (
+	journalMagic   = "ERMSJRNL"
+	JournalVersion = 1
+)
+
+const (
+	maxJournalEntries = 1 << 28 // decoder sanity bound
+	maxJournalString  = 1 << 20
+)
+
+// EncodeEntries writes entries to w in the versioned journal format.
+func EncodeEntries(w io.Writer, entries []Entry) error {
+	h := fnv.New64a()
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	writeVarint := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	writeString := func(s string) {
+		writeUvarint(uint64(len(s)))
+		bw.WriteString(s)
+	}
+	bw.WriteString(journalMagic)
+	writeUvarint(JournalVersion)
+	writeUvarint(uint64(len(entries)))
+	for _, e := range entries {
+		writeUvarint(e.Seq)
+		writeVarint(int64(e.Time))
+		writeUvarint(uint64(e.Op))
+		writeString(e.Path)
+		writeString(e.Dst)
+		writeVarint(int64(e.File))
+		writeVarint(e.Block)
+		writeVarint(int64(e.Node))
+		writeVarint(int64(e.State))
+		writeVarint(int64(e.Target))
+		writeVarint(int64(e.K))
+		writeVarint(int64(e.M))
+		writeVarint(int64(e.Index))
+		writeVarint(int64(e.Group))
+		writeUvarint(math.Float64bits(e.Size))
+		flag := uint64(0)
+		if e.Flag {
+			flag = 1
+		}
+		writeUvarint(flag)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("auditlog: journal encode: %w", err)
+	}
+	// Checksum trailer, outside the hashed region.
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("auditlog: journal encode: %w", err)
+	}
+	return nil
+}
+
+// DecodeEntries reads a journal written by EncodeEntries. Corrupt or
+// truncated input returns an error; on success the entries are exactly as
+// encoded. The whole stream is read into memory first so the checksum can
+// be verified before any field is trusted.
+func DecodeEntries(r io.Reader) ([]Entry, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("auditlog: journal decode: %w", err)
+	}
+	if len(data) < len(journalMagic)+8 {
+		return nil, fmt.Errorf("auditlog: journal decode: input too short (%d bytes)", len(data))
+	}
+	payload, trailer := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(payload)
+	if got, want := binary.LittleEndian.Uint64(trailer), h.Sum64(); got != want {
+		return nil, fmt.Errorf("auditlog: journal decode: checksum mismatch (%#x != %#x)", got, want)
+	}
+	br := bytes.NewReader(payload)
+	fail := func(what string, err error) ([]Entry, error) {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("auditlog: journal decode %s: %w", what, err)
+	}
+	magic := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fail("magic", err)
+	}
+	if string(magic) != journalMagic {
+		return nil, fmt.Errorf("auditlog: journal decode: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fail("version", err)
+	}
+	if version != JournalVersion {
+		return nil, fmt.Errorf("auditlog: journal decode: unsupported version %d (want %d)", version, JournalVersion)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fail("entry count", err)
+	}
+	if count > maxJournalEntries {
+		return nil, fmt.Errorf("auditlog: journal decode: implausible entry count %d", count)
+	}
+	readString := func(what string) (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", fmt.Errorf("auditlog: journal decode %s length: %w", what, err)
+		}
+		if n > maxJournalString {
+			return "", fmt.Errorf("auditlog: journal decode: %s length %d too large", what, n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", fmt.Errorf("auditlog: journal decode %s: %w", what, err)
+		}
+		return string(b), nil
+	}
+	entries := make([]Entry, 0, min(int(count), 4096))
+	for i := uint64(0); i < count; i++ {
+		var e Entry
+		var iv int64
+		var uv uint64
+		read := func(what string, dst *int64) bool {
+			v, rerr := binary.ReadVarint(br)
+			if rerr != nil {
+				err = fmt.Errorf("auditlog: journal decode entry %d %s: %w", i, what, rerr)
+				return false
+			}
+			*dst = v
+			return true
+		}
+		if uv, err = binary.ReadUvarint(br); err != nil {
+			return fail(fmt.Sprintf("entry %d seq", i), err)
+		}
+		e.Seq = uv
+		if !read("time", &iv) {
+			return nil, err
+		}
+		e.Time = time.Duration(iv)
+		if uv, err = binary.ReadUvarint(br); err != nil {
+			return fail(fmt.Sprintf("entry %d op", i), err)
+		}
+		e.Op = Op(uv)
+		if !e.Op.Valid() {
+			return nil, fmt.Errorf("auditlog: journal decode entry %d: unknown op %d", i, uv)
+		}
+		if e.Path, err = readString("path"); err != nil {
+			return nil, err
+		}
+		if e.Dst, err = readString("dst"); err != nil {
+			return nil, err
+		}
+		if !read("file", &iv) {
+			return nil, err
+		}
+		e.File = int(iv)
+		if !read("block", &e.Block) {
+			return nil, err
+		}
+		if !read("node", &iv) {
+			return nil, err
+		}
+		e.Node = int(iv)
+		if !read("state", &iv) {
+			return nil, err
+		}
+		e.State = int(iv)
+		if !read("target", &iv) {
+			return nil, err
+		}
+		e.Target = int(iv)
+		if !read("k", &iv) {
+			return nil, err
+		}
+		e.K = int(iv)
+		if !read("m", &iv) {
+			return nil, err
+		}
+		e.M = int(iv)
+		if !read("index", &iv) {
+			return nil, err
+		}
+		e.Index = int(iv)
+		if !read("group", &iv) {
+			return nil, err
+		}
+		e.Group = int(iv)
+		if uv, err = binary.ReadUvarint(br); err != nil {
+			return fail(fmt.Sprintf("entry %d size", i), err)
+		}
+		e.Size = math.Float64frombits(uv)
+		if uv, err = binary.ReadUvarint(br); err != nil {
+			return fail(fmt.Sprintf("entry %d flag", i), err)
+		}
+		if uv > 1 {
+			return nil, fmt.Errorf("auditlog: journal decode entry %d: bad flag %d", i, uv)
+		}
+		e.Flag = uv == 1
+		entries = append(entries, e)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("auditlog: journal decode: %d trailing bytes after %d entries", br.Len(), count)
+	}
+	return entries, nil
+}

@@ -39,6 +39,10 @@ const (
 	// CorruptReplica silently flips bits in one stored replica, chosen at
 	// fire time by (BlockOrdinal, ReplicaOrdinal) over the live namespace.
 	CorruptReplica
+	// NamenodeCrash fails the namenode over: a standby restores the rolling
+	// checkpoint, replays the journal tail, and is verified against the
+	// primary. Requires Plan.Failover; skipped otherwise.
+	NamenodeCrash
 )
 
 func (k Kind) String() string {
@@ -57,6 +61,8 @@ func (k Kind) String() string {
 		return "restore"
 	case CorruptReplica:
 		return "corrupt"
+	case NamenodeCrash:
+		return "namenode-crash"
 	}
 	return "unknown"
 }
@@ -82,6 +88,10 @@ type Event struct {
 // Plan is a scripted fault schedule.
 type Plan struct {
 	Events []Event
+	// Failover gives NamenodeCrash events a target; see NewFailover. Plans
+	// without one skip namenode crashes, so datanode-only storms need no
+	// journal.
+	Failover *Failover
 }
 
 // Report tallies what a scheduled plan actually did.
@@ -109,7 +119,7 @@ func (p *Plan) Schedule(engine *sim.Engine, c *hdfs.Cluster) *Report {
 			delay = 0
 		}
 		engine.Schedule(delay, func() {
-			if apply(c, ev) {
+			if p.apply(c, ev) {
 				rep.Applied++
 				rep.PerKind[ev.Kind.String()]++
 			} else {
@@ -122,8 +132,14 @@ func (p *Plan) Schedule(engine *sim.Engine, c *hdfs.Cluster) *Report {
 
 // apply executes one fault against the cluster; false means no valid
 // target existed at fire time.
-func apply(c *hdfs.Cluster, ev Event) bool {
+func (p *Plan) apply(c *hdfs.Cluster, ev Event) bool {
 	switch ev.Kind {
+	case NamenodeCrash:
+		if p.Failover == nil {
+			return false
+		}
+		p.Failover.Crash()
+		return true
 	case Crash:
 		d := c.Datanode(ev.Node)
 		if d == nil || d.State == hdfs.StateDown || d.Crashed() {

@@ -41,6 +41,10 @@ type StormConfig struct {
 	// Corruptions is the number of silent replica corruptions.
 	Corruptions int
 
+	// NamenodeCrashes is the number of namenode failovers. They only fire
+	// when the scheduled plan carries a Failover harness (Plan.Failover).
+	NamenodeCrashes int
+
 	// SlowNodes is the number of slowdown+restore pairs.
 	SlowNodes int
 	// SlowFactor is the degraded capacity multiplier; default 0.1.
@@ -153,6 +157,12 @@ func Storm(cfg StormConfig) *Plan {
 				Event{At: start + jitter(cfg.SlowFor), Kind: RestoreNode, Node: node},
 			)
 		}
+	}
+
+	// Namenode crashes draw last so adding them leaves the datanode fault
+	// schedule of an equal-seed storm unchanged.
+	for i := 0; i < cfg.NamenodeCrashes; i++ {
+		events = append(events, Event{At: at(), Kind: NamenodeCrash})
 	}
 
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -30,6 +33,15 @@ type ScaleConfig struct {
 	Reads int
 	// Horizon is the virtual time the read workload spans; default 10m.
 	Horizon time.Duration
+	// CacheDir, when non-empty, caches each size's freshly built namespace
+	// as a checkpoint keyed on (format version, nodes, FilesPerNode). A hit
+	// restores in well under a second instead of rebuilding (~7.5 s of
+	// wall clock at the 1,000-node / 1M-file point); a miss builds, proves
+	// the encoded bytes restore to the same state digest, then publishes
+	// the file atomically (temp + rename). Restored runs are digest-checked
+	// against built runs by ScaleDemo's same-seed double run, so a corrupt
+	// or stale cache can never silently change results.
+	CacheDir string
 }
 
 func (c *ScaleConfig) applyDefaults() {
@@ -55,13 +67,14 @@ type ScaleRow struct {
 	Nodes      int
 	Files      int
 	Blocks     int
-	BuildSec   float64 // wall seconds to create the namespace
+	BuildSec   float64 // wall seconds to create (or restore) the namespace
 	RunSec     float64 // wall seconds to run the read workload
 	Events     uint64  // simulator events fired
 	EventsSec  float64 // events per wall second during the run
 	HeapMB     float64 // live heap after the run
-	ReadMBps   float64 // mean per-read throughput
+	ReadMBps   float64 // mean per-read throughput (virtual time, deterministic)
 	Violations int     // invariant oracle failures (must be 0)
+	Loaded     bool    // namespace restored from the checkpoint cache
 	Digest     uint64
 	Det        bool
 }
@@ -71,7 +84,9 @@ type ScaleRow struct {
 // indexed namenode structures, batched event queue, and per-link flow sets
 // hold their budgets. Every run ends with a full invariant sweep, and
 // every size runs twice to prove same-seed determinism survives the scale
-// machinery.
+// machinery. With CacheDir set and cold, the first run builds and caches
+// the namespace while the second restores it, so the Det column doubles
+// as a restore-equivalence proof at full scale.
 func ScaleDemo(cfg ScaleConfig) []ScaleRow {
 	cfg.applyDefaults()
 	rows := make([]ScaleRow, 0, len(cfg.Sizes))
@@ -94,19 +109,26 @@ func runScale(cfg ScaleConfig, nodes int) ScaleRow {
 	e := sim.NewEngine()
 	topo := topology.New(topology.Config{Racks: racks, NodeCount: nodes})
 	c := hdfs.New(e, hdfs.Config{Topology: topo})
-	m := core.New(c, core.Config{JudgePeriod: cfg.Horizon})
 
 	nFiles := nodes * cfg.FilesPerNode
 	bs := c.Config().BlockSize
 
 	buildStart := time.Now()
-	for i := 0; i < nFiles; i++ {
-		path := fmt.Sprintf("/scale/d%03d/f%06d", i%512, i)
-		if _, err := c.CreateFile(path, bs, 3, -1); err != nil {
-			panic(fmt.Sprintf("scale: create %s on %d nodes: %v", path, nodes, err))
+	loaded := loadScaleCache(cfg, nodes, c)
+	if !loaded {
+		for i := 0; i < nFiles; i++ {
+			path := fmt.Sprintf("/scale/d%03d/f%06d", i%512, i)
+			if _, err := c.CreateFile(path, bs, 3, -1); err != nil {
+				panic(fmt.Sprintf("scale: create %s on %d nodes: %v", path, nodes, err))
+			}
 		}
+		writeScaleCache(cfg, nodes, racks, c)
 	}
 	buildSec := time.Since(buildStart).Seconds()
+	// The manager attaches after the namespace exists in both paths —
+	// exactly as a standby commissions after a restore — so judge behavior
+	// cannot depend on whether the namespace was built or loaded.
+	m := core.New(c, core.Config{JudgePeriod: cfg.Horizon})
 
 	// Zipf-popular reads from random clients, bulk-scheduled in one batch
 	// insert (the AtBatch fast path this PR adds).
@@ -153,6 +175,7 @@ func runScale(cfg ScaleConfig, nodes int) ScaleRow {
 		Events:     e.Fired(),
 		HeapMB:     float64(ms.HeapAlloc) / (1 << 20),
 		Violations: len(viols),
+		Loaded:     loaded,
 		Digest:     scaleDigest(e, c),
 	}
 	if runSec > 0 {
@@ -195,16 +218,97 @@ func scaleDigest(e *sim.Engine, c *hdfs.Cluster) uint64 {
 	return h.Sum64()
 }
 
-// ScaleTable renders the sweep.
+// scaleCachePath keys the cache on everything that shapes the namespace:
+// checkpoint format version, node count, and files per node.
+func scaleCachePath(cfg ScaleConfig, nodes int) string {
+	return filepath.Join(cfg.CacheDir,
+		fmt.Sprintf("scale_v%d_n%d_f%d.ckpt", hdfs.CheckpointVersion, nodes, cfg.FilesPerNode))
+}
+
+// loadScaleCache restores the cached namespace into the pristine cluster.
+// Any failure — missing file, version skew, corruption — falls back to a
+// fresh build; the checkpoint checksum makes a partial restore impossible.
+func loadScaleCache(cfg ScaleConfig, nodes int, c *hdfs.Cluster) bool {
+	if cfg.CacheDir == "" {
+		return false
+	}
+	data, err := os.ReadFile(scaleCachePath(cfg, nodes))
+	if err != nil {
+		return false
+	}
+	return c.RestoreCheckpoint(bytes.NewReader(data)) == nil
+}
+
+// writeScaleCache checkpoints the freshly built namespace and publishes it
+// atomically — but only after proving the bytes restore into a shadow
+// cluster with the identical state digest. A cache that fails the proof is
+// simply not written; the sweep still runs from the built namespace.
+func writeScaleCache(cfg ScaleConfig, nodes, racks int, c *hdfs.Cluster) {
+	if cfg.CacheDir == "" {
+		return
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCheckpoint(&buf); err != nil {
+		return
+	}
+	shadow := hdfs.New(sim.NewEngine(), hdfs.Config{
+		Topology: topology.New(topology.Config{Racks: racks, NodeCount: nodes}),
+	})
+	if err := shadow.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		return
+	}
+	if shadow.StateDigest() != c.StateDigest() {
+		return
+	}
+	if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(cfg.CacheDir, "scale_*.tmp")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), scaleCachePath(cfg, nodes)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// ScaleTable renders the deterministic half of the sweep: identical bytes
+// on every machine, worker count, and cache state, so it can ride in the
+// byte-stable `figures` output stream.
 func ScaleTable(rows []ScaleRow) *metrics.Table {
 	t := &metrics.Table{
-		Title: "Scale: wall time, event rate, and memory vs cluster size (same-seed determinism checked)",
-		Columns: []string{"nodes", "files", "blocks", "build_s", "run_s",
-			"events", "events_per_s", "heap_MB", "read_MBps", "violations", "deterministic"},
+		Title: "Scale: namespace, event, and read totals vs cluster size (same-seed determinism checked)",
+		Columns: []string{"nodes", "files", "blocks",
+			"events", "read_MBps", "violations", "deterministic"},
 	}
 	for _, r := range rows {
-		t.AddRowValues(r.Nodes, r.Files, r.Blocks, r.BuildSec, r.RunSec,
-			r.Events, r.EventsSec, r.HeapMB, r.ReadMBps, r.Violations, r.Det)
+		t.AddRowValues(r.Nodes, r.Files, r.Blocks,
+			r.Events, r.ReadMBps, r.Violations, r.Det)
+	}
+	return t
+}
+
+// ScaleTimingTable renders the wall-clock half — build/restore and run
+// times, event rate, and heap. Not byte-stable (it measures this machine),
+// so callers keep it out of determinism-checked streams.
+func ScaleTimingTable(rows []ScaleRow) *metrics.Table {
+	t := &metrics.Table{
+		Title: "Scale timing: wall clock and memory (cached=namespace restored from checkpoint)",
+		Columns: []string{"nodes", "build_s", "run_s",
+			"events_per_s", "heap_MB", "cached"},
+	}
+	for _, r := range rows {
+		t.AddRowValues(r.Nodes, r.BuildSec, r.RunSec,
+			r.EventsSec, r.HeapMB, r.Loaded)
 	}
 	return t
 }

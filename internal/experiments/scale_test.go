@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -41,5 +42,65 @@ func TestScaleDemoSmall(t *testing.T) {
 	out := ScaleTable(rows).String()
 	if !strings.Contains(out, "12") || !strings.Contains(out, "true") {
 		t.Fatalf("table missing rows:\n%s", out)
+	}
+}
+
+// TestScaleDemoCheckpointCache: with a cache dir, the first same-seed run
+// builds and publishes a checkpoint, the second restores it, and the two
+// must agree on the digest — restore equivalence proven by the sweep's own
+// determinism check. Corruption falls back to a fresh build silently.
+func TestScaleDemoCheckpointCache(t *testing.T) {
+	cfg := ScaleConfig{
+		Seed:         3,
+		Sizes:        []int{6},
+		FilesPerNode: 4,
+		Reads:        200,
+		Horizon:      5 * time.Minute,
+		CacheDir:     t.TempDir(),
+	}
+	rows := ScaleDemo(cfg)
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	first := rows[0]
+	if !first.Loaded {
+		t.Fatal("second same-seed run did not restore from the cache the first wrote")
+	}
+	if !first.Det {
+		t.Fatal("restored run diverged from built run")
+	}
+	path := scaleCachePath(cfg, 6)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache file not published: %v", err)
+	}
+
+	// A warm cache serves both runs and reproduces the same digest.
+	warm := ScaleDemo(cfg)[0]
+	if !warm.Loaded || !warm.Det || warm.Digest != first.Digest {
+		t.Fatalf("warm cache run: loaded=%t det=%t digest %x vs %x",
+			warm.Loaded, warm.Det, warm.Digest, first.Digest)
+	}
+
+	// A corrupted cache is rejected by the checksum, rebuilt, and republished.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	healed := ScaleDemo(cfg)[0]
+	if !healed.Det || healed.Digest != first.Digest {
+		t.Fatalf("corrupt cache changed results: det=%t digest %x vs %x",
+			healed.Det, healed.Digest, first.Digest)
+	}
+	if !healed.Loaded {
+		t.Fatal("rebuilt cache was not republished for the second run")
+	}
+
+	timing := ScaleTimingTable(rows).String()
+	if !strings.Contains(timing, "cached") || !strings.Contains(timing, "true") {
+		t.Fatalf("timing table missing cache column:\n%s", timing)
 	}
 }

@@ -106,12 +106,9 @@ func (c *Cluster) Balance(threshold float64, maxConcurrent int, done func(Balanc
 			if src.Used/src.Capacity <= avg+threshold {
 				break // sorted: nobody further is over
 			}
-			// Candidate blocks on src, deterministic order.
-			var blocks []BlockID
-			for bid := range src.blocks {
-				blocks = append(blocks, bid)
-			}
-			sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+			// Candidate blocks on src; Each is ascending, so deterministic.
+			blocks := make([]BlockID, 0, src.blocks.Len())
+			src.blocks.Each(func(bid BlockID) { blocks = append(blocks, bid) })
 			for t := len(nodes) - 1; t >= 0; t-- {
 				dst := nodes[t]
 				if dst.Used/dst.Capacity >= avg-threshold {

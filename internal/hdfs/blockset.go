@@ -1,0 +1,65 @@
+package hdfs
+
+import "math/bits"
+
+// blockSet is a dense bitset over BlockIDs. Block IDs are minted
+// sequentially from zero and never reused, so a bitmap beats a hash set
+// on every axis that matters here: membership and insert are single-word
+// operations, iteration is ascending (deterministic, unlike map order),
+// and rebuilding a node's block set from a million checkpoint replicas
+// costs bit-ORs instead of the map inserts that used to dominate restore.
+// The zero value is an empty set.
+type blockSet struct {
+	bits []uint64
+	n    int
+}
+
+// Has reports whether b is in the set.
+func (s *blockSet) Has(b BlockID) bool {
+	w := uint64(b) >> 6
+	return w < uint64(len(s.bits)) && s.bits[w]>>(uint64(b)&63)&1 != 0
+}
+
+// Add inserts b, growing the bitmap geometrically as the block space
+// grows so a sequence of Adds stays amortized O(1).
+func (s *blockSet) Add(b BlockID) {
+	w := int(uint64(b) >> 6)
+	if w >= len(s.bits) {
+		grown := make([]uint64, max(w+1, 2*len(s.bits)))
+		copy(grown, s.bits)
+		s.bits = grown
+	}
+	mask := uint64(1) << (uint64(b) & 63)
+	if s.bits[w]&mask == 0 {
+		s.bits[w] |= mask
+		s.n++
+	}
+}
+
+// Remove deletes b if present.
+func (s *blockSet) Remove(b BlockID) {
+	w := uint64(b) >> 6
+	if w >= uint64(len(s.bits)) {
+		return
+	}
+	mask := uint64(1) << (uint64(b) & 63)
+	if s.bits[w]&mask != 0 {
+		s.bits[w] &^= mask
+		s.n--
+	}
+}
+
+// Len returns the number of members.
+func (s *blockSet) Len() int { return s.n }
+
+// Each calls fn for every member in ascending BlockID order. fn must not
+// grow the set; removing members (including the one being visited) is
+// safe because Remove never reallocates the bitmap.
+func (s *blockSet) Each(fn func(BlockID)) {
+	for w, word := range s.bits {
+		for word != 0 {
+			fn(BlockID(w<<6 + bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+}

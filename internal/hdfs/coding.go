@@ -3,6 +3,7 @@ package hdfs
 import (
 	"fmt"
 
+	"erms/internal/auditlog"
 	"erms/internal/erasure"
 	"erms/internal/netsim"
 	"erms/internal/topology"
@@ -54,6 +55,7 @@ func (c *Cluster) EncodeFile(path string, k, m int, done func(error)) {
 		return
 	}
 	f.EncodeK, f.EncodeM = k, m
+	c.jlog(auditlog.Entry{Op: auditlog.OpEncodeGeom, File: f.id, K: k, M: m})
 	stripes := (len(f.Blocks) + k - 1) / k
 	outstanding := 0
 	var firstErr error
@@ -241,6 +243,7 @@ func (c *Cluster) finishEncode(f *INode, err error, done func(error)) {
 		}
 	}
 	f.Encoded = true
+	c.jlog(auditlog.Entry{Op: auditlog.OpEncodeDone, File: f.id})
 	c.reassessFile(f)
 	c.metrics.FilesEncoded++
 	c.finish(done, nil)
@@ -432,6 +435,7 @@ func (c *Cluster) CancelEncoding(path string) error {
 	}
 	f.Parity = nil
 	f.EncodeK, f.EncodeM = 0, 0
+	c.jlog(auditlog.Entry{Op: auditlog.OpClearGeom, File: f.id})
 	return nil
 }
 
@@ -464,6 +468,7 @@ func (c *Cluster) DecodeFile(path string, n int, done func(error)) {
 		return
 	}
 	f.Encoded = false
+	c.jlog(auditlog.Entry{Op: auditlog.OpDecodeStart, File: f.id})
 	for _, pid := range f.Parity {
 		pb := c.blocks[pid]
 		for _, dn := range append([]DatanodeID(nil), c.replicas[pid]...) {

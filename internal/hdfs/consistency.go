@@ -49,7 +49,7 @@ func (c *Cluster) ConsistencyErrors() []string {
 			}
 			seen[r] = true
 			d := c.datanodes[r]
-			if !d.blocks[b.ID] {
+			if !d.blocks.Has(b.ID) {
 				fail("block %d listed on %s but absent from its block set", b.ID, d.Name)
 			}
 			if d.State == StateDown {
@@ -64,11 +64,11 @@ func (c *Cluster) ConsistencyErrors() []string {
 	// --- Per-datanode books: block set membership, space, non-negativity.
 	for _, d := range c.datanodes {
 		var used float64
-		for bid := range d.blocks {
+		d.blocks.Each(func(bid BlockID) {
 			b := c.Block(bid)
 			if b == nil {
 				fail("%s holds deleted block %d", d.Name, bid)
-				continue
+				return
 			}
 			used += b.Size
 			found := false
@@ -81,7 +81,7 @@ func (c *Cluster) ConsistencyErrors() []string {
 			if !found {
 				fail("%s holds block %d not listed in replicas", d.Name, bid)
 			}
-		}
+		})
 		if diff := used - d.Used; diff > 1e-6 || diff < -1e-6 {
 			fail("%s Used %.1f != sum of block sizes %.1f", d.Name, d.Used, used)
 		}

@@ -117,7 +117,7 @@ type Datanode struct {
 	pendingAdds  int     // inbound replicas scheduled but not yet landed
 	pendingBytes float64 // bytes those pending replicas will occupy
 	waiting      []*pendingSession
-	blocks       map[BlockID]bool
+	blocks       blockSet
 	// activeFlows tracks flows being served *from* this node so they can be
 	// killed with it (or with the network path to their peer).
 	activeFlows map[*netsim.Flow]*flowHandle
@@ -173,10 +173,10 @@ func (d *Datanode) Sessions() int { return d.sessions }
 func (d *Datanode) QueueLen() int { return len(d.waiting) }
 
 // HasBlock reports whether the datanode stores a replica of b.
-func (d *Datanode) HasBlock(b BlockID) bool { return d.blocks[b] }
+func (d *Datanode) HasBlock(b BlockID) bool { return d.blocks.Has(b) }
 
 // NumBlocks returns the number of replicas the node stores.
-func (d *Datanode) NumBlocks() int { return len(d.blocks) }
+func (d *Datanode) NumBlocks() int { return d.blocks.Len() }
 
 // PendingAdds returns inbound replica copies scheduled but not landed.
 // Placement policies add it to NumBlocks so a burst of concurrent
@@ -185,7 +185,7 @@ func (d *Datanode) NumBlocks() int { return len(d.blocks) }
 func (d *Datanode) PendingAdds() int { return d.pendingAdds }
 
 // PlacementLoad is the load metric placement policies sort by.
-func (d *Datanode) PlacementLoad() int { return len(d.blocks) + d.pendingAdds }
+func (d *Datanode) PlacementLoad() int { return d.blocks.Len() + d.pendingAdds }
 
 // Free returns remaining capacity in bytes.
 func (d *Datanode) Free() float64 { return d.Capacity - d.Used }
@@ -342,6 +342,15 @@ type Cluster struct {
 	audit     *auditlog.Log
 	metrics   Metrics
 
+	// journal, when attached, receives a typed write-ahead record for
+	// every durable namenode mutation; replaying stands a failover twin
+	// up from a checkpoint. replaying suppresses re-emission while the
+	// journal's own entries are being applied. ckptJournalSeq carries the
+	// journal position of the checkpoint this cluster restored from.
+	journal        *auditlog.Journal
+	replaying      bool
+	ckptJournalSeq uint64
+
 	// partitioned racks are cut off from the rest of the cluster (and
 	// from external clients); intra-rack traffic still works.
 	partitioned map[int]bool
@@ -385,7 +394,6 @@ func New(engine *sim.Engine, cfg Config) *Cluster {
 			Name:        n.Name,
 			Capacity:    cfg.NodeCapacity,
 			MaxSessions: cfg.MaxSessionsPerNode,
-			blocks:      make(map[BlockID]bool),
 			activeFlows: make(map[*netsim.Flow]*flowHandle),
 			corrupt:     make(map[BlockID]bool),
 			reported:    make(map[BlockID]bool),
@@ -546,6 +554,8 @@ func (c *Cluster) registerFile(f *INode) {
 	c.fileByID = append(c.fileByID, f)
 	c.files[f.Path] = f
 	c.pathsCache = nil
+	c.jlog(auditlog.Entry{Op: auditlog.OpFileAdd, Path: f.Path, File: f.id,
+		Size: f.Size, Target: f.TargetRepl})
 }
 
 // addBlock registers a freshly minted block (its ID must be the next in
@@ -559,6 +569,8 @@ func (c *Cluster) addBlock(b *Block) {
 	c.replicas = append(c.replicas, nil)
 	c.liveBlocks++
 	c.reassessBlock(b)
+	c.jlog(auditlog.Entry{Op: auditlog.OpBlockAdd, Block: int64(b.ID), File: b.fileID,
+		Size: b.Size, Index: b.Index, Flag: b.Parity, Group: b.Group})
 }
 
 // dropBlock removes a block whose replicas have already been detached.
@@ -570,6 +582,7 @@ func (c *Cluster) dropBlock(id BlockID) {
 	c.replicas[id] = nil
 	c.liveBlocks--
 	delete(c.underSet, id)
+	c.jlog(auditlog.Entry{Op: auditlog.OpBlockDrop, Block: int64(id)})
 }
 
 // ReplicationOf returns the current replica count of a file's first block
@@ -697,6 +710,7 @@ func (c *Cluster) unwindCreate(f *INode) {
 	delete(c.files, f.Path)
 	c.fileByID[f.id] = nil
 	c.pathsCache = nil
+	c.jlog(auditlog.Entry{Op: auditlog.OpFileDrop, File: f.id, Path: f.Path})
 }
 
 // DeleteFile removes a file and frees its replicas.
@@ -717,6 +731,7 @@ func (c *Cluster) DeleteFile(path string) error {
 	delete(c.files, path)
 	c.fileByID[f.id] = nil
 	c.pathsCache = nil
+	c.jlog(auditlog.Entry{Op: auditlog.OpFileDrop, File: f.id, Path: path})
 	c.audit.Append(auditlog.Record{
 		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
 		IP: "10.0.0.1", Cmd: auditlog.CmdDelete, Src: path,
@@ -745,6 +760,7 @@ func (c *Cluster) Rename(src, dst string) error {
 			c.blocks[bid].File = dst
 		}
 	}
+	c.jlog(auditlog.Entry{Op: auditlog.OpRename, File: f.id, Path: src, Dst: dst})
 	c.audit.Append(auditlog.Record{
 		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
 		IP: "10.0.0.1", Cmd: auditlog.CmdRename, Src: src, Dst: dst,
@@ -757,25 +773,26 @@ func (c *Cluster) Rename(src, dst string) error {
 // incarnation of the replica is cleared.
 func (c *Cluster) attachReplica(b *Block, dn DatanodeID) {
 	d := c.datanodes[dn]
-	if d.blocks[b.ID] {
+	if d.blocks.Has(b.ID) {
 		return
 	}
-	d.blocks[b.ID] = true
+	d.blocks.Add(b.ID)
 	d.Used += b.Size
 	delete(d.corrupt, b.ID)
 	delete(d.reported, b.ID)
 	c.replicas[b.ID] = append(c.replicas[b.ID], dn)
 	c.reassessBlock(b)
 	c.reindexNode(d)
+	c.jlog(auditlog.Entry{Op: auditlog.OpReplicaAdd, Block: int64(b.ID), Node: int(dn)})
 }
 
 // detachReplica removes a replica from dn.
 func (c *Cluster) detachReplica(b *Block, dn DatanodeID) {
 	d := c.datanodes[dn]
-	if !d.blocks[b.ID] {
+	if !d.blocks.Has(b.ID) {
 		return
 	}
-	delete(d.blocks, b.ID)
+	d.blocks.Remove(b.ID)
 	d.Used -= b.Size
 	delete(d.corrupt, b.ID)
 	delete(d.reported, b.ID)
@@ -788,4 +805,5 @@ func (c *Cluster) detachReplica(b *Block, dn DatanodeID) {
 	}
 	c.reassessBlock(b)
 	c.reindexNode(d)
+	c.jlog(auditlog.Entry{Op: auditlog.OpReplicaDrop, Block: int64(b.ID), Node: int(dn)})
 }

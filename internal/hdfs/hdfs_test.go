@@ -632,7 +632,7 @@ func checkConsistency(t *testing.T, c *Cluster) {
 	}
 	for _, d := range c.Datanodes() {
 		var used float64
-		for bid := range d.blocks {
+		d.blocks.Each(func(bid BlockID) {
 			used += c.Block(bid).Size
 			found := false
 			for _, r := range c.replicas[bid] {
@@ -643,7 +643,7 @@ func checkConsistency(t *testing.T, c *Cluster) {
 			if !found {
 				t.Fatalf("node %d holds unregistered block %d", d.ID, bid)
 			}
-		}
+		})
 		if diff := used - d.Used; diff > 1 || diff < -1 {
 			t.Fatalf("node %d usage %v != computed %v", d.ID, d.Used, used)
 		}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"erms/internal/auditlog"
 	"erms/internal/netsim"
 	"erms/internal/topology"
 )
@@ -59,6 +60,7 @@ func (c *Cluster) heartbeatTick(now time.Duration) {
 			if d.Stale {
 				d.Stale = false
 				c.reindexNode(d)
+				c.jlog(auditlog.Entry{Op: auditlog.OpNodeStale, Node: int(d.ID), Flag: false})
 				c.reconcileRejoin(d)
 			}
 			continue
@@ -71,6 +73,7 @@ func (c *Cluster) heartbeatTick(now time.Duration) {
 			d.Stale = true
 			c.metrics.StaleTransitions++
 			c.reindexNode(d)
+			c.jlog(auditlog.Entry{Op: auditlog.OpNodeStale, Node: int(d.ID), Flag: true})
 		}
 	}
 }
@@ -111,14 +114,14 @@ func (c *Cluster) declareDead(id DatanodeID) {
 	d.State = StateDown
 	d.Stale = false
 	c.reindexNode(d)
+	c.jlog(auditlog.Entry{Op: auditlog.OpNodeState, Node: int(id), State: int(StateDown)})
 	c.abortServing(d)
 	c.abortWaiting(d)
 	// Drop its replicas from the block map (space bookkeeping stays — the
 	// disk is gone with the node, but Used on a dead node is irrelevant).
-	for bid := range d.blocks {
-		b := c.blocks[bid]
-		c.detachReplica(b, id)
-	}
+	d.blocks.Each(func(bid BlockID) {
+		c.detachReplica(c.blocks[bid], id)
+	})
 	for _, fn := range c.onDeadNode {
 		fn(id)
 	}

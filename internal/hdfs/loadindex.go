@@ -111,7 +111,7 @@ func (c *Cluster) scanEligible(b *Block, exclude map[DatanodeID]bool, visit func
 		stopped := s.each(func(n int) bool {
 			id := DatanodeID(n)
 			d := c.datanodes[id]
-			if d.blocks[b.ID] || exclude[id] {
+			if d.blocks.Has(b.ID) || exclude[id] {
 				return false
 			}
 			if c.NodeUnreachable(id) || d.UncommittedFree() < b.Size {

@@ -244,6 +244,7 @@ func (c *Cluster) SetReplication(path string, n int, mode ReplicationMode, done 
 		IP: "10.0.0.1", Cmd: auditlog.CmdSetRepl, Src: path,
 	})
 	f.TargetRepl = n
+	c.jlog(auditlog.Entry{Op: auditlog.OpSetTarget, File: f.id, Target: n})
 	c.reassessFile(f)
 	cur := c.ReplicationOf(path)
 	switch {

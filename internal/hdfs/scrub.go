@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"erms/internal/auditlog"
 	"erms/internal/erasure"
 	"erms/internal/sim"
 )
@@ -20,7 +21,7 @@ func (c *Cluster) CorruptReplica(id BlockID, dn DatanodeID) error {
 		return fmt.Errorf("hdfs: no such block %d", id)
 	}
 	d := c.datanodes[dn]
-	if !d.blocks[id] {
+	if !d.blocks.Has(id) {
 		return fmt.Errorf("hdfs: %s holds no replica of block %d", d.Name, id)
 	}
 	d.corrupt[id] = true
@@ -36,7 +37,7 @@ func (c *Cluster) CorruptReplica(id BlockID, dn DatanodeID) error {
 // once.
 func (c *Cluster) reportCorrupt(b *Block, dn DatanodeID) {
 	d := c.datanodes[dn]
-	if !d.corrupt[b.ID] || !d.blocks[b.ID] {
+	if !d.corrupt[b.ID] || !d.blocks.Has(b.ID) {
 		return
 	}
 	clean := 0
@@ -58,6 +59,7 @@ func (c *Cluster) reportCorrupt(b *Block, dn DatanodeID) {
 	}
 	if !d.reported[b.ID] {
 		d.reported[b.ID] = true
+		c.jlog(auditlog.Entry{Op: auditlog.OpReported, Block: int64(b.ID), Node: int(dn)})
 		c.metrics.CorruptDetected++
 		c.metrics.CorruptBytes += b.Size
 		for _, fn := range c.onCorrupt {

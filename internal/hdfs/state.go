@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"erms/internal/auditlog"
 	"erms/internal/netsim"
 )
 
@@ -47,6 +48,7 @@ func (c *Cluster) Commission(id DatanodeID) {
 	d.activeSince = c.engine.Now()
 	d.lastHeartbeat = c.engine.Now()
 	c.reindexNode(d)
+	c.jlog(auditlog.Entry{Op: auditlog.OpNodeState, Node: int(id), State: int(StateActive)})
 	if sp := c.tracer.Instant("hdfs.commission", c.tracer.Current()); sp != 0 {
 		c.tracer.SetAttr(sp, "node", d.Name)
 	}
@@ -76,6 +78,7 @@ func (c *Cluster) ToStandby(id DatanodeID) {
 	d.ActiveTime += c.engine.Now() - d.activeSince
 	d.State = StateStandby
 	c.reindexNode(d)
+	c.jlog(auditlog.Entry{Op: auditlog.OpNodeState, Node: int(id), State: int(StateStandby)})
 	if sp := c.tracer.Instant("hdfs.standby", c.tracer.Current()); sp != 0 {
 		c.tracer.SetAttr(sp, "node", d.Name)
 	}
@@ -123,11 +126,9 @@ func (c *Cluster) Decommission(id DatanodeID, done func(error)) {
 	d.ActiveTime += c.engine.Now() - d.activeSince
 	d.State = StateDecommissioning
 	c.reindexNode(d)
-	blocks := make([]BlockID, 0, len(d.blocks))
-	for bid := range d.blocks {
-		blocks = append(blocks, bid)
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	c.jlog(auditlog.Entry{Op: auditlog.OpNodeState, Node: int(id), State: int(StateDecommissioning)})
+	blocks := make([]BlockID, 0, d.blocks.Len())
+	d.blocks.Each(func(bid BlockID) { blocks = append(blocks, bid) }) // ascending
 	outstanding := 0
 	var firstErr error
 	finishDrain := func() {
@@ -151,6 +152,7 @@ func (c *Cluster) Decommission(id DatanodeID, done func(error)) {
 		}
 		d.State = StateDecommissioned
 		c.reindexNode(d)
+		c.jlog(auditlog.Entry{Op: auditlog.OpNodeState, Node: int(id), State: int(StateDecommissioned)})
 		c.abortServing(d)
 		c.abortWaiting(d)
 		c.finish(done, nil)
@@ -193,7 +195,7 @@ func (c *Cluster) Restart(id DatanodeID) {
 	if d.State != StateDown {
 		return
 	}
-	d.blocks = make(map[BlockID]bool)
+	d.blocks = blockSet{}
 	d.corrupt = make(map[BlockID]bool)
 	d.reported = make(map[BlockID]bool)
 	d.Used = 0
@@ -205,6 +207,7 @@ func (c *Cluster) Restart(id DatanodeID) {
 	d.activeSince = c.engine.Now()
 	d.lastHeartbeat = c.engine.Now()
 	c.reindexNode(d)
+	c.jlog(auditlog.Entry{Op: auditlog.OpNodeState, Node: int(id), State: int(StateActive), Flag: true})
 	for _, fn := range c.onNodeUp {
 		fn(id)
 	}

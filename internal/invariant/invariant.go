@@ -16,13 +16,17 @@
 //     never exceeds wall clock and saved node-hours are non-negative;
 //   - condor: scheduler slot accounting never leaks — machine slots,
 //     running counts, job-state partition, and outcome stats agree;
-//   - metrics: the read and storage counters tie out against HDFS state.
+//   - metrics: the read and storage counters tie out against HDFS state;
+//   - restore (opt-in): a shadow cluster rebuilt from a checkpoint — and,
+//     under a Watcher with a journal attached, from a baseline checkpoint
+//     plus journal-tail replay — matches the live namenode exactly.
 //
 // Check runs every applicable oracle once; Watch re-runs them on a sim
 // ticker for continuous checking during randomized runs.
 package invariant
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"time"
@@ -45,6 +49,18 @@ type Target struct {
 	// MaxReplication, when positive, bounds every plain file's replication
 	// target (the judge's τ-derived clamp). Zero skips the bound.
 	MaxReplication int
+	// CheckRestore enables the restore-equivalence oracle: at every check
+	// the cluster is checkpointed, restored into a shadow cluster, and the
+	// shadow must match the live state digest, pass consistency, and
+	// re-encode to the identical bytes. When the cluster also carries a
+	// journal, the Watcher additionally replays the tail since its baseline
+	// checkpoint each tick and compares digests — the failover story
+	// verified continuously. Requires NewShadow.
+	CheckRestore bool
+	// NewShadow builds an empty cluster on the given engine with the same
+	// durable configuration as Cluster (the checkpoint's config digest
+	// enforces it). Required when CheckRestore is set.
+	NewShadow func(*sim.Engine) *hdfs.Cluster
 }
 
 // Check runs every applicable oracle once and returns the violations,
@@ -56,6 +72,9 @@ func Check(t Target) []string {
 		errs = append(errs, checkDurability(t)...)
 	}
 	errs = append(errs, checkMetrics(t)...)
+	if t.CheckRestore {
+		errs = append(errs, checkRestore(t)...)
+	}
 	if t.Manager != nil {
 		errs = append(errs, checkEnergy(t)...)
 		errs = append(errs, checkCondor(t)...)
@@ -187,6 +206,39 @@ func checkCondor(t Target) []string {
 	return errs
 }
 
+// checkRestore round-trips the live cluster through the checkpoint format:
+// a shadow cluster restored from a fresh checkpoint must carry the same
+// state digest, pass its own consistency sweep, and re-encode to the
+// identical bytes. Any drift means the format silently loses or invents
+// state — exactly the bug class a failover would surface at the worst time.
+func checkRestore(t Target) []string {
+	if t.NewShadow == nil {
+		return []string{"restore: CheckRestore set but NewShadow is nil"}
+	}
+	var buf bytes.Buffer
+	if err := t.Cluster.WriteCheckpoint(&buf); err != nil {
+		return []string{fmt.Sprintf("restore: checkpoint failed: %v", err)}
+	}
+	shadow := t.NewShadow(sim.NewEngine())
+	if err := shadow.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		return []string{fmt.Sprintf("restore: shadow restore failed: %v", err)}
+	}
+	var errs []string
+	if got, want := shadow.StateDigest(), t.Cluster.StateDigest(); got != want {
+		errs = append(errs, fmt.Sprintf("restore: shadow digest %#x != live %#x", got, want))
+	}
+	for _, e := range shadow.ConsistencyErrors() {
+		errs = append(errs, "restore: shadow inconsistent: "+e)
+	}
+	var again bytes.Buffer
+	if err := shadow.WriteCheckpoint(&again); err != nil {
+		errs = append(errs, fmt.Sprintf("restore: shadow re-encode failed: %v", err))
+	} else if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		errs = append(errs, "restore: shadow re-encode is not byte-identical to the checkpoint it loaded")
+	}
+	return errs
+}
+
 // checkMetrics ties the cluster's counters to its actual state.
 func checkMetrics(t Target) []string {
 	var errs []string
@@ -233,41 +285,85 @@ type Watcher struct {
 	seen   map[string]bool
 	viols  []Violation
 	checks int
+	// Baseline checkpoint for the journal-replay oracle: taken once when
+	// the watch starts, replayed forward every tick.
+	baseCkpt []byte
+	baseSeq  uint64
 }
 
 // Watch starts continuous checking of t on the engine every period
 // (default 30s). Each distinct violation message is recorded once, at the
 // first tick it appears. Call Stop before reading results, or let the run
 // end (the ticker dies with the event queue).
+//
+// When t.CheckRestore is set and the cluster carries a journal, the
+// watcher also takes a baseline checkpoint now and, at every tick,
+// rebuilds a shadow from baseline + journal tail — asserting that a
+// standby commissioned at any instant of the run would match the live
+// namenode exactly.
 func Watch(e *sim.Engine, period time.Duration, t Target) *Watcher {
 	if period <= 0 {
 		period = 30 * time.Second
 	}
 	w := &Watcher{target: t, seen: map[string]bool{}}
-	w.ticker = sim.NewTicker(e, period, func(now time.Duration) {
-		w.checks++
-		for _, msg := range Check(t) {
-			if !w.seen[msg] {
-				w.seen[msg] = true
-				w.viols = append(w.viols, Violation{At: now, Msg: msg})
-			}
+	if t.CheckRestore && t.NewShadow != nil && t.Cluster.Journal() != nil {
+		var buf bytes.Buffer
+		if err := t.Cluster.WriteCheckpoint(&buf); err == nil {
+			w.baseCkpt = buf.Bytes()
+			w.baseSeq = t.Cluster.Journal().NextSeq()
 		}
+	}
+	w.ticker = sim.NewTicker(e, period, func(now time.Duration) {
+		w.sweep(now)
 	})
 	return w
+}
+
+// sweep runs one full oracle pass, recording each distinct violation once.
+func (w *Watcher) sweep(now time.Duration) {
+	w.checks++
+	msgs := Check(w.target)
+	if w.baseCkpt != nil {
+		msgs = append(msgs, w.checkReplay()...)
+	}
+	for _, msg := range msgs {
+		if !w.seen[msg] {
+			w.seen[msg] = true
+			w.viols = append(w.viols, Violation{At: now, Msg: msg})
+		}
+	}
+}
+
+// checkReplay rebuilds a shadow from the watch's baseline checkpoint plus
+// the journal tail written since, and compares it to the live cluster —
+// the standby-commission path exercised at the current instant.
+func (w *Watcher) checkReplay() []string {
+	tail := w.target.Cluster.Journal().Tail(w.baseSeq)
+	if tail == nil {
+		return []string{fmt.Sprintf("replay: journal tail from seq %d unavailable (truncated past the watch baseline)", w.baseSeq)}
+	}
+	shadow := w.target.NewShadow(sim.NewEngine())
+	if err := shadow.RestoreCheckpoint(bytes.NewReader(w.baseCkpt)); err != nil {
+		return []string{fmt.Sprintf("replay: baseline restore failed: %v", err)}
+	}
+	if err := shadow.ReplayJournal(tail); err != nil {
+		return []string{fmt.Sprintf("replay: journal replay failed after %d entries: %v", len(tail), err)}
+	}
+	var errs []string
+	if got, want := shadow.StateDigest(), w.target.Cluster.StateDigest(); got != want {
+		errs = append(errs, fmt.Sprintf("replay: shadow digest %#x != live %#x after %d-entry tail", got, want, len(tail)))
+	}
+	for _, e := range shadow.ConsistencyErrors() {
+		errs = append(errs, "replay: shadow inconsistent: "+e)
+	}
+	return errs
 }
 
 // Stop halts the periodic checking and runs one final check so end-state
 // violations are never missed.
 func (w *Watcher) Stop() {
 	w.ticker.Stop()
-	w.checks++
-	now := w.target.Cluster.Engine().Now()
-	for _, msg := range Check(w.target) {
-		if !w.seen[msg] {
-			w.seen[msg] = true
-			w.viols = append(w.viols, Violation{At: now, Msg: msg})
-		}
-	}
+	w.sweep(w.target.Cluster.Engine().Now())
 }
 
 // Violations returns every distinct violation observed, in first-seen

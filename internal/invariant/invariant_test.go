@@ -8,10 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"erms/internal/auditlog"
 	"erms/internal/core"
 	"erms/internal/experiments"
 	"erms/internal/hdfs"
 	"erms/internal/invariant"
+	"erms/internal/sim"
 	"erms/internal/sweep"
 	"erms/internal/topology"
 )
@@ -89,13 +91,20 @@ func runStorm(seed int64) (checks int, violations []invariant.Violation, err err
 	// condor, energy pool); every fifth runs vanilla HDFS so the oracles
 	// also guard the baseline paths.
 	var tb *experiments.Testbed
+	var total int
 	vanilla := seed%5 == 0
 	if vanilla {
-		tb = experiments.NewVanilla(12 + rng.Intn(8))
+		total = 12 + rng.Intn(8)
+		tb = experiments.NewVanilla(total)
 	} else {
-		tb = experiments.NewERMS(12+rng.Intn(6), 3+rng.Intn(4), core.Thresholds{}, 2*time.Minute)
+		active, standby := 12+rng.Intn(6), 3+rng.Intn(4)
+		total = active + standby
+		tb = experiments.NewERMS(active, standby, core.Thresholds{}, 2*time.Minute)
 	}
 	c, e := tb.Cluster, tb.Engine
+	// Journal every mutation so the watcher's replay oracle re-commissions
+	// a standby from baseline + tail at every tick.
+	c.SetJournal(auditlog.NewJournal())
 
 	target := invariant.Target{
 		Cluster:        c,
@@ -104,6 +113,10 @@ func runStorm(seed int64) (checks int, violations []invariant.Violation, err err
 		// Vanilla HDFS has no repair agent: repeated kills legitimately
 		// erode replicas, so only the ERMS runs assert durability.
 		AllowDataLoss: vanilla,
+		CheckRestore:  true,
+		NewShadow: func(e2 *sim.Engine) *hdfs.Cluster {
+			return hdfs.New(e2, hdfs.Config{Topology: topology.New(topology.Config{Racks: 3, NodeCount: total})})
+		},
 	}
 	w := invariant.Watch(e, 15*time.Second, target)
 
@@ -169,6 +182,49 @@ func runStorm(seed int64) (checks int, violations []invariant.Violation, err err
 	}
 	w.Stop()
 	return w.Checks(), w.Violations(), nil
+}
+
+// TestRestoreOracle exercises the restore-equivalence oracle standalone:
+// a healthy cluster passes both the round-trip and replay checks, and the
+// misconfigurations the oracle guards against are reported, not fatal.
+func TestRestoreOracle(t *testing.T) {
+	tb := experiments.NewVanilla(9)
+	c, e := tb.Cluster, tb.Engine
+	c.SetJournal(auditlog.NewJournal())
+	shadow := func(e2 *sim.Engine) *hdfs.Cluster {
+		return hdfs.New(e2, hdfs.Config{Topology: topology.New(topology.Config{Racks: 3, NodeCount: 9})})
+	}
+	w := invariant.Watch(e, 30*time.Second, invariant.Target{
+		Cluster: c, CheckRestore: true, NewShadow: shadow,
+	})
+	for i := 0; i < 4; i++ {
+		if _, err := c.CreateFile(fmt.Sprintf("/r/f%d", i), 96*experiments.MB, 3, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Schedule(time.Minute, func() { c.SetReplication("/r/f0", 4, hdfs.WholeAtOnce, nil) })
+	e.Schedule(2*time.Minute, func() { _ = c.DeleteFile("/r/f3") })
+	e.RunUntil(5 * time.Minute)
+	w.Stop()
+	if viols := w.Violations(); len(viols) != 0 {
+		t.Fatalf("healthy run reported: %v", viols)
+	}
+	if w.Checks() < 5 {
+		t.Fatalf("watcher ran only %d sweeps", w.Checks())
+	}
+
+	// CheckRestore without a shadow factory is a reported misuse.
+	if errs := invariant.Check(invariant.Target{Cluster: c, CheckRestore: true}); len(errs) != 1 {
+		t.Fatalf("missing NewShadow reported %v", errs)
+	}
+	// A shadow factory with the wrong durable config fails the restore.
+	wrong := func(e2 *sim.Engine) *hdfs.Cluster {
+		return hdfs.New(e2, hdfs.Config{Topology: topology.New(topology.Config{Racks: 3, NodeCount: 12})})
+	}
+	errs := invariant.Check(invariant.Target{Cluster: c, CheckRestore: true, NewShadow: wrong})
+	if len(errs) != 1 {
+		t.Fatalf("mismatched shadow reported %v", errs)
+	}
 }
 
 // TestWatcherCatchesDataLoss proves the oracle actually fires: a
