@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test race check bench bench-accept benchdiff lint cover cover-check \
-	figures fuzz failover full-scale soak sweep runtime-table examples clean
+	figures fuzz failover full-scale soak sweep degrade runtime-table examples clean
 
 all: build vet test
 
@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./...
 
 # The full gate: what CI runs and what a PR must keep green.
-check: build vet test race soak sweep
+check: build vet test race soak sweep degrade
 
 # Cross-core determinism gate: the same threshold grid at -parallel 1 and
 # -parallel 8 must merge to byte-identical output, proven under the race
@@ -28,6 +28,16 @@ check: build vet test race soak sweep
 sweep:
 	$(GO) test -race -run 'TestThresholdSweepWorkerInvariance|TestWorkerCountInvariance' \
 		./internal/experiments/ ./internal/sweep/
+
+# Degradation gate: the degrade study (rack outage vs repair throttling,
+# EXPERIMENTS.md) must be deterministic and keep its shape — throttled
+# repair beats unthrottled on foreground reads, safe mode defers the
+# storm, nothing loses data — plus the 25-seed correlated-failure storm
+# suite with its safe-mode / repair-cap / epoch-fencing oracles. All
+# under the race detector.
+degrade:
+	$(GO) test -race -run 'TestDegradeDeterminism|TestDegradeShape' ./internal/experiments/
+	$(GO) test -race -run 'TestDegradedStormSuite' ./internal/invariant/
 
 # Regenerates the per-figure serial-vs-parallel runtime table embedded in
 # EXPERIMENTS.md (append-only artifact; CI uploads it from the cover job).

@@ -72,6 +72,15 @@ func NewStandby(opts Options, checkpoint io.Reader, tail []JournalEntry) (*Syste
 		return nil, fmt.Errorf("standby replay: %w", err)
 	}
 	s.cluster.SetJournal(auditlog.NewJournalAt(s.cluster.RestoredJournalSeq()))
+	// Promotion bumps the writer epoch past the one that produced the tail:
+	// entries the fenced predecessor might still try to write carry the old
+	// epoch and are recognizably stale.
+	prevEpoch := uint64(1)
+	if n := len(tail); n > 0 && tail[n-1].Epoch > 0 {
+		prevEpoch = tail[n-1].Epoch
+	}
+	s.cluster.Journal().SetEpoch(prevEpoch + 1)
+	s.cluster.AdoptEpoch()
 	s.attachManager(opts)
 	return s, nil
 }

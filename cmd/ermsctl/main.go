@@ -9,6 +9,8 @@
 //	ermsctl -duration 1h -log             # include the Condor user log
 //	ermsctl trace -o out.json             # export a Chrome trace (Perfetto)
 //	ermsctl metrics                       # Prometheus-style metrics snapshot
+//	ermsctl status                        # namenode health: safe mode, epoch, repair queues
+//	ermsctl status -kill 10               # same, mid-incident (mass failure trips the guard)
 //	ermsctl sweep -seeds 3 -taum 12,8,4   # threshold grid across all cores
 //	ermsctl checkpoint -o namenode.ckpt   # run a workload, checkpoint the namenode
 //	ermsctl restore -i namenode.ckpt      # commission a fresh namenode from it
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"erms"
+	"erms/internal/hdfs"
 	"erms/internal/workload"
 )
 
@@ -32,6 +35,10 @@ func main() {
 	log.SetPrefix("ermsctl: ")
 	if len(os.Args) > 1 && (os.Args[1] == "trace" || os.Args[1] == "metrics") {
 		runToolCommand(os.Args[1], os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "status" {
+		runStatusCommand(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
@@ -134,6 +141,80 @@ func runToolCommand(cmd string, args []string) {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runStatusCommand prints the namenode's degradation surface after a
+// workload run: safe-mode state, the writer/journal epochs and fencing,
+// per-tier repair queue depths, and the repair pipeline's occupancy
+// against its caps. `-kill N` fails N datanodes shortly before the
+// horizon so the report catches the cluster mid-incident (killing enough
+// nodes trips the safe-mode guard).
+func runStatusCommand(args []string) {
+	fs := flag.NewFlagSet("ermsctl status", flag.ExitOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "workload seed")
+		duration = fs.Duration("duration", 30*time.Minute, "trace length")
+		files    = fs.Int("files", 20, "file catalog size")
+		kill     = fs.Int("kill", 0, "datanodes to fail 10s before the horizon")
+	)
+	fs.Parse(args)
+
+	sys := erms.NewSystem(erms.Options{
+		EnableJournal: true,
+		SafeMode:      erms.SafeModeConfig{Enabled: true},
+	})
+	tr := erms.SynthesizeWorkload(erms.WorkloadConfig{
+		Seed:             *seed,
+		Duration:         *duration,
+		NumFiles:         *files,
+		MeanInterarrival: 6 * time.Second,
+	})
+	sys.Preload(tr)
+	sys.ReplayReads(tr, nil)
+	horizon := tr.Horizon(30 * time.Minute)
+	if *kill > 0 {
+		sys.Engine().At(horizon-10*time.Second, func() {
+			killed := 0
+			for _, d := range sys.HDFS().Datanodes() {
+				if killed == *kill {
+					break
+				}
+				if d.State == hdfs.StateActive {
+					sys.HDFS().Kill(d.ID)
+					killed++
+				}
+			}
+		})
+	}
+	sys.RunUntil(horizon)
+
+	c := sys.HDFS()
+	m := sys.Manager()
+	cm := sys.Metrics()
+	mode := "OFF"
+	if c.InSafeMode() {
+		mode = "ON"
+	}
+	fmt.Printf("== namenode status @ %s ==\n", sys.Now())
+	fmt.Printf("safe mode:      %s (entries %d, exits %d, rejections %d)\n",
+		mode, cm.SafeModeEntries, cm.SafeModeExits, cm.SafeModeRejections)
+	fmt.Printf("availability:   %.4f of blocks live, %.3f of nodes live\n",
+		c.BlockAvailability(), c.LiveNodeFraction())
+	fmt.Printf("writer epoch:   %d (journal epoch %d, fenced=%v; fenced writes rejected %d)\n",
+		c.Epoch(), sys.Journal().Epoch(), c.Fenced(), cm.FencedWritesRejected)
+	depths := m.RepairQueueDepths()
+	tiers := [...]string{"last-replica", "below-half", "below-target", "decomm-only"}
+	fmt.Printf("repair queues: ")
+	for i, n := range depths {
+		fmt.Printf(" %s=%d", tiers[i], n)
+	}
+	fmt.Println()
+	caps := m.RepairCaps()
+	fmt.Printf("repair pipeline: %d jobs, %d streams in flight (caps: %d cluster-wide, %d per node)\n",
+		m.ActiveRepairJobs(), m.ActiveRepairStreams(), caps.MaxStreams, caps.MaxStreamsPerNode)
+	st := m.Stats()
+	fmt.Printf("counters:       repairs_deferred=%d repairs_throttled=%d\n",
+		st.RepairsDeferred, st.RepairsThrottled)
 }
 
 // runCheckpointCommand handles the durability subcommands. `checkpoint`

@@ -215,6 +215,16 @@ func buildTasks(fig string, o figOpts) (tasks []sweep.Task, notes []string) {
 			return out, nil
 		}))
 	}
+	if want("degrade") {
+		cfg := experiments.DegradeConfig{Seed: o.seed}
+		if o.full {
+			cfg.Files = 48
+			cfg.Caps = []int{-1, 32, 16, 8, 4, 2}
+		}
+		tasks = append(tasks, task("degrade", func() (string, error) {
+			return sprintln(experiments.DegradeTable(experiments.DegradeDemo(cfg))), nil
+		}))
+	}
 	if want("durability") {
 		cfg := experiments.DurabilityConfig{Seed: o.seed}
 		if o.full {
@@ -281,7 +291,7 @@ func buildTasks(fig string, o figOpts) (tasks []sweep.Task, notes []string) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, failover, durability, sweep, trace, scale, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, failover, durability, degrade, sweep, trace, scale, all")
 	seed := flag.Int64("seed", 1, "workload seed")
 	full := flag.Bool("full", false, "paper-scale runs (slower) instead of quick scale")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the series figures (4, 5)")

@@ -77,6 +77,15 @@ type (
 	EnergyReport = core.EnergyReport
 	// HDFSMetrics aggregates storage-level counters.
 	HDFSMetrics = hdfs.Metrics
+	// SafeModeConfig tunes the namenode safe-mode guard (see
+	// Options.SafeMode).
+	SafeModeConfig = hdfs.SafeModeConfig
+	// RepairConfig caps the prioritized re-replication pipeline (see
+	// Options.Repair).
+	RepairConfig = core.RepairConfig
+	// HeartbeatConfig tunes the heartbeat failure detector (see
+	// Options.Heartbeat).
+	HeartbeatConfig = hdfs.HeartbeatConfig
 )
 
 // DefaultThresholds returns the paper-calibrated judge thresholds.
@@ -124,6 +133,19 @@ type Options struct {
 	// story (see NewStandby). Off by default: the journal grows with every
 	// mutation and most experiments never fail the namenode over.
 	EnableJournal bool
+	// Heartbeat configures the heartbeat failure detector (off by default:
+	// Kill declares nodes dead instantly, the legacy behaviour).
+	Heartbeat HeartbeatConfig
+	// SafeMode configures the namenode safe-mode guard: when Enabled, the
+	// namenode rejects mutations and defers re-replication while block
+	// availability or the live-node fraction sits below thresholds (and on
+	// checkpoint restore), exiting only after a stable dwell.
+	SafeMode SafeModeConfig
+	// Repair caps the prioritized re-replication pipeline: cluster-wide and
+	// per-node stream limits plus an optional bandwidth budget. Zero fields
+	// take defaults; ignored when DisableERMS is set (repairs are the
+	// manager's job).
+	Repair RepairConfig
 }
 
 // System bundles a simulated deployment: engine, HDFS, MapReduce runtime,
@@ -175,6 +197,8 @@ func newBase(opts Options) *System {
 		BlockSize:          opts.BlockSize,
 		DefaultReplication: opts.DefaultReplication,
 		StandbyNodes:       standby,
+		Heartbeat:          opts.Heartbeat,
+		SafeMode:           opts.SafeMode,
 	})
 	var sched mapred.Scheduler = mapred.NewFIFO()
 	if opts.Scheduler == "fair" {
@@ -205,6 +229,7 @@ func (s *System) attachManager(opts Options) {
 		Thresholds:  opts.Thresholds,
 		JudgePeriod: opts.JudgePeriod,
 		Registry:    s.registry,
+		Repair:      opts.Repair,
 	})
 }
 

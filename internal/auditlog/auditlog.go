@@ -32,6 +32,9 @@ const (
 	CmdSetRepl     Command = "setReplication"
 	CmdListStatus  Command = "listStatus"
 	CmdGetFileInfo Command = "getfileinfo"
+	// CmdSafeMode records namenode safe-mode transitions (Src carries
+	// /enter/<reason> or /leave).
+	CmdSafeMode Command = "safemode"
 )
 
 // Record is one audit log line.

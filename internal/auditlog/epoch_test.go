@@ -1,0 +1,80 @@
+package auditlog
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestJournalEpochStamping: Append stamps the journal's current epoch, and
+// a bump mid-stream shows up on subsequent entries only.
+func TestJournalEpochStamping(t *testing.T) {
+	j := NewJournal()
+	if j.Epoch() != 1 {
+		t.Fatalf("fresh journal epoch = %d, want 1", j.Epoch())
+	}
+	a := j.Append(Entry{Op: OpFileAdd, Path: "/a", Time: time.Second})
+	if a.Epoch != 1 {
+		t.Fatalf("entry epoch = %d, want 1", a.Epoch)
+	}
+	if got := j.BumpEpoch(); got != 2 {
+		t.Fatalf("BumpEpoch = %d, want 2", got)
+	}
+	b := j.Append(Entry{Op: OpFileDrop, Path: "/a", Time: 2 * time.Second})
+	if b.Epoch != 2 {
+		t.Fatalf("post-bump entry epoch = %d, want 2", b.Epoch)
+	}
+	if j.Entries()[0].Epoch != 1 {
+		t.Fatal("bump must not rewrite already-appended entries")
+	}
+}
+
+// TestJournalSetEpochMonotonic: epochs never move backwards.
+func TestJournalSetEpochMonotonic(t *testing.T) {
+	j := NewJournal()
+	j.SetEpoch(5)
+	if j.Epoch() != 5 {
+		t.Fatalf("SetEpoch(5): epoch = %d", j.Epoch())
+	}
+	j.SetEpoch(3)
+	if j.Epoch() != 5 {
+		t.Fatalf("SetEpoch must ignore lower values: epoch = %d, want 5", j.Epoch())
+	}
+	j.SetEpoch(5)
+	if j.Epoch() != 5 {
+		t.Fatalf("SetEpoch(same) changed epoch to %d", j.Epoch())
+	}
+}
+
+// TestJournalEpochWireRoundTrip: nonzero epochs survive the versioned wire
+// format.
+func TestJournalEpochWireRoundTrip(t *testing.T) {
+	j := NewJournal()
+	j.Append(Entry{Op: OpFileAdd, Path: "/a", File: 1, Size: 64, Target: 3})
+	j.SetEpoch(7)
+	j.Append(Entry{Op: OpReplicaAdd, Block: 9, Node: 2})
+	j.BumpEpoch()
+	j.Append(Entry{Op: OpFileDrop, Path: "/a", File: 1})
+
+	var buf bytes.Buffer
+	if err := EncodeEntries(&buf, j.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEntries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d entries, want 3", len(got))
+	}
+	for i, want := range []uint64{1, 7, 8} {
+		if got[i].Epoch != want {
+			t.Errorf("entry %d epoch = %d, want %d", i, got[i].Epoch, want)
+		}
+	}
+	for i := range got {
+		if got[i] != j.Entries()[i] {
+			t.Errorf("entry %d did not round-trip: %v vs %v", i, got[i], j.Entries()[i])
+		}
+	}
+}

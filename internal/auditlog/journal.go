@@ -104,6 +104,7 @@ func (o Op) Valid() bool { return o > opInvalid && o < opSentinel }
 // byte each on the wire.
 type Entry struct {
 	Seq    uint64        // assigned by Journal.Append; dense, starts at 1
+	Epoch  uint64        // writer epoch that produced the entry (fencing)
 	Time   time.Duration // virtual time of the mutation
 	Op     Op
 	Path   string  // file path (OpFileAdd, OpFileDrop, OpRename source)
@@ -124,7 +125,7 @@ type Entry struct {
 // String renders the entry for debugging and journal dumps.
 func (e Entry) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "#%d %s %s", e.Seq, e.Time, e.Op)
+	fmt.Fprintf(&b, "#%d e%d %s %s", e.Seq, e.Epoch, e.Time, e.Op)
 	switch e.Op {
 	case OpFileAdd:
 		fmt.Fprintf(&b, " file=%d path=%s size=%.0f target=%d", e.File, e.Path, e.Size, e.Target)
@@ -161,28 +162,54 @@ type Journal struct {
 	entries []Entry
 	start   uint64 // Seq of entries[0]; valid when len(entries) > 0
 	next    uint64 // Seq the next Append will assign
+	epoch   uint64 // current writer epoch; Append stamps it on every entry
 	subs    []func(Entry)
 }
 
-// NewJournal returns an empty journal whose first entry will get Seq 1.
+// NewJournal returns an empty journal whose first entry will get Seq 1,
+// at epoch 1.
 func NewJournal() *Journal {
-	return &Journal{next: 1}
+	return &Journal{next: 1, epoch: 1}
 }
 
 // NewJournalAt returns an empty journal whose first entry will get Seq
 // seq. A promoted standby uses it to continue the failed namenode's
-// sequence numbering after replaying its tail.
+// sequence numbering after replaying its tail (and then SetEpoch/BumpEpoch
+// to fence the old writer).
 func NewJournalAt(seq uint64) *Journal {
 	if seq == 0 {
 		seq = 1
 	}
-	return &Journal{next: seq}
+	return &Journal{next: seq, epoch: 1}
 }
 
-// Append stamps e with the next sequence number, stores it, and notifies
-// subscribers. The stamped entry is returned.
+// Epoch returns the journal's current writer epoch. The journal models the
+// shared edit-log service (HDFS's quorum journal): whichever namenode's
+// writer epoch matches the journal's is the legitimate writer; anyone
+// behind is fenced.
+func (j *Journal) Epoch() uint64 { return j.epoch }
+
+// SetEpoch sets the writer epoch. Epochs never move backwards; lower
+// values are ignored.
+func (j *Journal) SetEpoch(e uint64) {
+	if e > j.epoch {
+		j.epoch = e
+	}
+}
+
+// BumpEpoch advances the writer epoch by one — the fencing step of a
+// standby promotion — and returns the new epoch. Entries appended by a
+// writer still holding the old epoch are detectably stale.
+func (j *Journal) BumpEpoch() uint64 {
+	j.epoch++
+	return j.epoch
+}
+
+// Append stamps e with the next sequence number and the current epoch,
+// stores it, and notifies subscribers. The stamped entry is returned.
 func (j *Journal) Append(e Entry) Entry {
 	e.Seq = j.next
+	e.Epoch = j.epoch
 	j.next++
 	if len(j.entries) == 0 {
 		j.start = e.Seq
@@ -254,8 +281,10 @@ func (j *Journal) TruncateTo(upTo uint64) {
 // semantics bumps JournalVersion, and decoders reject versions they do not
 // know rather than guessing.
 const (
-	journalMagic   = "ERMSJRNL"
-	JournalVersion = 1
+	journalMagic = "ERMSJRNL"
+	// JournalVersion 2 added the per-entry writer Epoch (journal-epoch
+	// fencing); version 1 streams are rejected rather than guessed at.
+	JournalVersion = 2
 )
 
 const (
@@ -285,6 +314,7 @@ func EncodeEntries(w io.Writer, entries []Entry) error {
 	writeUvarint(uint64(len(entries)))
 	for _, e := range entries {
 		writeUvarint(e.Seq)
+		writeUvarint(e.Epoch)
 		writeVarint(int64(e.Time))
 		writeUvarint(uint64(e.Op))
 		writeString(e.Path)
@@ -395,6 +425,10 @@ func DecodeEntries(r io.Reader) ([]Entry, error) {
 			return fail(fmt.Sprintf("entry %d seq", i), err)
 		}
 		e.Seq = uv
+		if uv, err = binary.ReadUvarint(br); err != nil {
+			return fail(fmt.Sprintf("entry %d epoch", i), err)
+		}
+		e.Epoch = uv
 		if !read("time", &iv) {
 			return nil, err
 		}

@@ -43,6 +43,21 @@ const (
 	// checkpoint, replays the journal tail, and is verified against the
 	// primary. Requires Plan.Failover; skipped otherwise.
 	NamenodeCrash
+	// ZombiePrimary is a fenced-writer drill: the namenode "crashes" but its
+	// process lingers, a standby is promoted (bumping the journal epoch),
+	// and the zombie's late mutations must bounce off the fence before the
+	// primary re-wins the election. Requires Plan.Failover; skipped
+	// otherwise.
+	ZombiePrimary
+	// StallNode suppresses a node's heartbeats without touching its data
+	// plane (a long GC pause, a wedged heartbeat thread): the namenode ages
+	// it toward stale/dead while it keeps serving.
+	StallNode
+	// UnstallNode restores a stalled node's heartbeats.
+	UnstallNode
+	// RestartRack restarts every down or crashed node in a rack — the power
+	// coming back after a whole-rack outage.
+	RestartRack
 )
 
 func (k Kind) String() string {
@@ -63,6 +78,14 @@ func (k Kind) String() string {
 		return "corrupt"
 	case NamenodeCrash:
 		return "namenode-crash"
+	case ZombiePrimary:
+		return "zombie-primary"
+	case StallNode:
+		return "stall"
+	case UnstallNode:
+		return "unstall"
+	case RestartRack:
+		return "restart-rack"
 	}
 	return "unknown"
 }
@@ -71,9 +94,9 @@ func (k Kind) String() string {
 type Event struct {
 	At   time.Duration
 	Kind Kind
-	// Node targets Crash/Restart/SlowNode/RestoreNode.
+	// Node targets Crash/Restart/SlowNode/RestoreNode/StallNode/UnstallNode.
 	Node hdfs.DatanodeID
-	// Rack targets PartitionRack/HealRack.
+	// Rack targets PartitionRack/HealRack/RestartRack.
 	Rack int
 	// Factor is SlowNode's capacity multiplier (0 < Factor < 1 degrades).
 	Factor float64
@@ -140,6 +163,39 @@ func (p *Plan) apply(c *hdfs.Cluster, ev Event) bool {
 		}
 		p.Failover.Crash()
 		return true
+	case ZombiePrimary:
+		if p.Failover == nil {
+			return false
+		}
+		p.Failover.CrashZombie()
+		return true
+	case StallNode:
+		d := c.Datanode(ev.Node)
+		if d == nil || d.State == hdfs.StateDown || d.Crashed() || d.Stalled() {
+			return false
+		}
+		c.StallNode(ev.Node, true)
+		return true
+	case UnstallNode:
+		d := c.Datanode(ev.Node)
+		if d == nil || !d.Stalled() {
+			return false
+		}
+		c.StallNode(ev.Node, false)
+		return true
+	case RestartRack:
+		topo := c.Topology()
+		restarted := false
+		for _, d := range c.Datanodes() {
+			if topo.Rack(topology.NodeID(d.ID)) != ev.Rack {
+				continue
+			}
+			if d.State == hdfs.StateDown || d.Crashed() {
+				c.Restart(d.ID)
+				restarted = true
+			}
+		}
+		return restarted
 	case Crash:
 		d := c.Datanode(ev.Node)
 		if d == nil || d.State == hdfs.StateDown || d.Crashed() {

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"time"
 
@@ -55,6 +56,15 @@ type FailoverResult struct {
 	// the primary but are unknown (or replica-less) on the standby. Zero
 	// means the failover lost nothing a real client could still read.
 	RecoverableLost int
+	// Zombie marks a CrashZombie drill: the crashed primary lingered past
+	// the standby's promotion and its late mutations were probed against
+	// the journal-epoch fence.
+	Zombie bool
+	// FencedRejected counts the zombie's probe mutations bounced by the
+	// fence; FencedApplied counts any that slipped through (must be zero —
+	// the epoch invariant oracle asserts it).
+	FencedRejected int
+	FencedApplied  int
 	// Err is set when the standby could not be built at all.
 	Err error
 }
@@ -160,6 +170,40 @@ func (f *Failover) Crash() FailoverResult {
 	res.ConsistencyOK = standby.ConsistencyErrors() == nil
 	res.RecoverableLost = recoverableLost(f.cfg.Cluster, standby)
 	f.results = append(f.results, res)
+	return res
+}
+
+// CrashZombie is the fenced-writer drill. It runs a standard Crash
+// (standby restored and verified), then models the promotion's fencing
+// side: the new writer bumps the shared journal's epoch, the old primary —
+// whose process lingers, unaware it lost the election — attempts late
+// mutations, and every one must bounce off the epoch fence without
+// touching durable state. Finally the primary re-adopts the journal epoch,
+// modeling the verified standby handing the writer role back (the harness
+// keeps simulating on the primary, as Crash does).
+func (f *Failover) CrashZombie() FailoverResult {
+	res := f.Crash()
+	res.Zombie = true
+	c := f.cfg.Cluster
+	j := c.Journal()
+	j.BumpEpoch() // the promoted standby fences the old writer
+
+	before := c.StateDigest()
+	mb := c.Metrics().FencedWritesApplied
+	probe := fmt.Sprintf("/zombie/probe-%d", j.NextSeq())
+	if _, err := c.CreateFile(probe, 1, 1, -1); errors.Is(err, hdfs.ErrFenced) {
+		res.FencedRejected++
+	}
+	if err := c.DeleteFile(probe); errors.Is(err, hdfs.ErrFenced) {
+		res.FencedRejected++
+	}
+	res.FencedApplied = c.Metrics().FencedWritesApplied - mb
+	if c.StateDigest() != before {
+		res.FencedApplied++
+	}
+
+	c.AdoptEpoch() // primary re-wins the election and resumes as writer
+	f.results[len(f.results)-1] = res
 	return res
 }
 

@@ -52,6 +52,26 @@ type StormConfig struct {
 	// SlowFor is how long a node stays degraded (jittered ±50%); default
 	// 5 minutes.
 	SlowFor time.Duration
+
+	// RackOutages is the number of correlated whole-rack outages: the rack
+	// is partitioned long enough for the namenode to declare its nodes dead,
+	// then healed and power-cycled (RestartRack) shortly after.
+	RackOutages int
+	// RackOutageFor is how long an outage lasts before the heal (jittered
+	// ±50%); default 8 minutes — comfortably past typical dead timeouts.
+	RackOutageFor time.Duration
+
+	// FlapNodes is the number of heartbeat-flapping episodes: a node's
+	// heartbeats stall (it ages toward stale/dead while still serving) and
+	// resume after FlapFor.
+	FlapNodes int
+	// FlapFor is how long heartbeats stay suppressed (jittered ±50%);
+	// default 45 seconds — long enough to go stale, short of dead.
+	FlapFor time.Duration
+
+	// ZombiePrimaries is the number of fenced-writer drills (ZombiePrimary
+	// events). They only fire when the plan carries a Failover harness.
+	ZombiePrimaries int
 }
 
 func (cfg *StormConfig) applyDefaults() {
@@ -72,6 +92,12 @@ func (cfg *StormConfig) applyDefaults() {
 	}
 	if cfg.SlowFor <= 0 {
 		cfg.SlowFor = 5 * time.Minute
+	}
+	if cfg.RackOutageFor <= 0 {
+		cfg.RackOutageFor = 8 * time.Minute
+	}
+	if cfg.FlapFor <= 0 {
+		cfg.FlapFor = 45 * time.Second
 	}
 }
 
@@ -159,10 +185,42 @@ func Storm(cfg StormConfig) *Plan {
 		}
 	}
 
-	// Namenode crashes draw last so adding them leaves the datanode fault
-	// schedule of an equal-seed storm unchanged.
+	// Namenode crashes draw after the datanode faults so adding them leaves
+	// the datanode fault schedule of an equal-seed storm unchanged; each
+	// knob added since draws after everything older, for the same reason.
 	for i := 0; i < cfg.NamenodeCrashes; i++ {
 		events = append(events, Event{At: at(), Kind: NamenodeCrash})
+	}
+
+	// Correlated rack outage: partition, heal well past the dead timeout,
+	// then power-cycle whatever the namenode declared dead.
+	if len(cfg.Racks) > 0 {
+		for i := 0; i < cfg.RackOutages; i++ {
+			start := at()
+			rack := cfg.Racks[rng.Intn(len(cfg.Racks))]
+			heal := start + jitter(cfg.RackOutageFor)
+			events = append(events,
+				Event{At: start, Kind: PartitionRack, Rack: rack},
+				Event{At: heal, Kind: HealRack, Rack: rack},
+				Event{At: heal + 30*time.Second, Kind: RestartRack, Rack: rack},
+			)
+		}
+	}
+
+	// Heartbeat flapping: stall+unstall pairs.
+	if len(cfg.Nodes) > 0 {
+		for i := 0; i < cfg.FlapNodes; i++ {
+			start := at()
+			node := cfg.Nodes[rng.Intn(len(cfg.Nodes))]
+			events = append(events,
+				Event{At: start, Kind: StallNode, Node: node},
+				Event{At: start + jitter(cfg.FlapFor), Kind: UnstallNode, Node: node},
+			)
+		}
+	}
+
+	for i := 0; i < cfg.ZombiePrimaries; i++ {
+		events = append(events, Event{At: at(), Kind: ZombiePrimary})
 	}
 
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })

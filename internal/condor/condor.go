@@ -324,6 +324,7 @@ func (s *Scheduler) kickSoon() {
 // slots then registration order.
 func (s *Scheduler) negotiate() {
 	idle := s.idleProbe()
+	snapshot := len(s.queue)
 	var rest []*Job
 	for _, j := range s.pendingInOrder() {
 		if j.State != StatePending {
@@ -340,6 +341,10 @@ func (s *Scheduler) negotiate() {
 		}
 		s.start(j, m)
 	}
+	// A start may run its job synchronously to a terminal state, whose
+	// Notify may Submit new work re-entrantly — those jobs landed in
+	// s.queue past the snapshot and must survive the rebuild.
+	rest = append(rest, s.queue[snapshot:]...)
 	// Rebuild queue with still-pending jobs, preserving order.
 	s.queue = s.queue[:0]
 	s.queue = append(s.queue, rest...)

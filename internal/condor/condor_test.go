@@ -309,3 +309,36 @@ func TestStateStrings(t *testing.T) {
 		t.Fatal("class strings")
 	}
 }
+
+// TestResubmitFromNotifySurvivesNegotiation pins a negotiator re-entrancy
+// fix: a job whose Notify submits follow-up work synchronously (the repair
+// pipeline does this to drain its throttled queue) runs inside the
+// negotiation loop when its own Run fails synchronously, and the follow-up
+// submission used to be wiped by the post-loop queue rebuild — pending in
+// byID but never queued, so it hung forever.
+func TestResubmitFromNotifySurvivesNegotiation(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, Config{NegotiationPeriod: time.Hour})
+	s.Advertise("m1", machineAd(0, false), 1)
+	ran := false
+	j := &Job{
+		Name:  "failer",
+		Class: ClassImmediate,
+		Run:   func(m *Machine, done func(error)) { done(errors.New("no target")) },
+		Notify: func(*Job) {
+			s.Submit(&Job{
+				Name:  "followup",
+				Class: ClassImmediate,
+				Run:   func(m *Machine, done func(error)) { ran = true; done(nil) },
+			})
+		},
+	}
+	s.Submit(j)
+	e.RunUntil(time.Minute)
+	if j.State != StateFailed {
+		t.Fatalf("failer state = %v", j.State)
+	}
+	if !ran {
+		t.Fatal("job submitted from Notify never ran")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"erms/internal/condor"
 	"erms/internal/hdfs"
 	"erms/internal/metrics"
+	"erms/internal/netsim"
 	"erms/internal/sim"
 	"erms/internal/topology"
 )
@@ -35,6 +36,9 @@ type Config struct {
 	// the damage sweep re-arms (the cluster may have healed — a restarted
 	// node, a lifted partition — making the retry worthwhile). Default 30s.
 	RepairRescanDelay time.Duration
+	// Repair throttles the recovery pipeline: cluster-wide and per-node
+	// stream caps plus an optional bandwidth budget. See RepairConfig.
+	Repair RepairConfig
 	// Scrub, when Period > 0, starts the cluster's background corruption
 	// scrubber alongside the manager.
 	Scrub hdfs.ScrubConfig
@@ -57,6 +61,12 @@ type Stats struct {
 	FailedJobs  int
 	// RepairsRetried counts repair attempts beyond each job's first.
 	RepairsRetried int
+	// RepairsDeferred counts repair candidates skipped because the
+	// namenode was in safe mode when the damage sweep ran; RepairsThrottled
+	// counts candidates held back by the cluster-wide stream cap. Both are
+	// re-examined by later sweeps (and may be re-counted then).
+	RepairsDeferred  int
+	RepairsThrottled int
 	// CorruptFound / CorruptFixed count corrupt replicas detected by the
 	// cluster (scrubber, read checksums, rejoin reconciliation) and the
 	// ones whose blocks a repair job subsequently restored.
@@ -92,6 +102,14 @@ type Manager struct {
 	history        []Decision
 	ticker         interface{ Stop() }
 
+	// Repair-throttling state: the optional bandwidth budget, in-flight
+	// repair copies per target node, their cluster-wide total, and the
+	// never-should-fire per-node cap tripwire the invariant oracle reads.
+	bucket        *netsim.TokenBucket
+	nodeStreams   map[hdfs.DatanodeID]int
+	streams       int
+	capViolations int
+
 	// Activity counters live in the metrics registry; Stats() assembles
 	// the legacy snapshot struct from them.
 	reg *metrics.Registry
@@ -105,6 +123,7 @@ type managerCounters struct {
 	decisions, increases, decreases, encodes, decodes *metrics.Counter
 	commissions, shutdowns, repairs, failedJobs       *metrics.Counter
 	repairsRetried, corruptFound, corruptFixed        *metrics.Counter
+	repairsDeferred, repairsThrottled                 *metrics.Counter
 }
 
 func newManagerCounters(r *metrics.Registry) managerCounters {
@@ -121,6 +140,9 @@ func newManagerCounters(r *metrics.Registry) managerCounters {
 		repairsRetried: r.Counter("erms_repairs_retried_total"),
 		corruptFound:   r.Counter("erms_corrupt_found_total"),
 		corruptFixed:   r.Counter("erms_corrupt_fixed_total"),
+
+		repairsDeferred:  r.Counter("erms_repairs_deferred_total"),
+		repairsThrottled: r.Counter("erms_repairs_throttled_total"),
 	}
 }
 
@@ -143,6 +165,7 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 	if cfg.RepairRescanDelay <= 0 {
 		cfg.RepairRescanDelay = 30 * time.Second
 	}
+	cfg.Repair.applyDefaults(len(cluster.Datanodes()))
 	if cfg.Registry == nil {
 		cfg.Registry = metrics.NewRegistry()
 	}
@@ -154,11 +177,20 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 		repairing:      map[hdfs.BlockID]bool{},
 		repairStart:    map[hdfs.BlockID]time.Duration{},
 		corruptPending: map[hdfs.BlockID]bool{},
+		nodeStreams:    map[hdfs.DatanodeID]int{},
 		reg:            cfg.Registry,
+	}
+	if cfg.Repair.BandwidthMBps > 0 {
+		// Burst of one block: a copy can always start promptly, but sustained
+		// repair traffic is paced to the budget.
+		m.bucket = netsim.NewTokenBucket(cluster.Engine(),
+			cfg.Repair.BandwidthMBps*topology.MB, cluster.Config().BlockSize)
 	}
 	m.ctr = newManagerCounters(m.reg)
 	m.ttr = m.reg.Histogram("erms_time_to_repair_seconds")
 	m.reg.GaugeFunc("erms_stale_nodes", func() float64 { return float64(len(cluster.StaleNodes())) })
+	m.reg.GaugeFunc("erms_repair_jobs_active", func() float64 { return float64(len(m.repairing)) })
+	m.reg.GaugeFunc("erms_repair_streams", func() float64 { return float64(m.streams) })
 	if len(cfg.StandbyPool) > 0 {
 		for _, id := range cfg.StandbyPool {
 			m.pool[id] = true
@@ -206,6 +238,13 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 		m.corruptPending[bid] = true
 		m.scheduleRepairs()
 	})
+	// Safe mode defers the damage sweep entirely; leaving it releases the
+	// backlog in one prioritized pass.
+	cluster.OnSafeMode(func(entered bool) {
+		if !entered {
+			m.scheduleRepairs()
+		}
+	})
 	if cfg.Scrub.Period > 0 {
 		m.scrubStop = cluster.StartScrubber(cfg.Scrub)
 	}
@@ -224,99 +263,6 @@ func (m *Manager) armRepairRescan() {
 		m.rescanArmed = false
 		m.scheduleRepairs()
 	})
-}
-
-// scheduleRepairs submits recovery jobs for every damaged block.
-func (m *Manager) scheduleRepairs() {
-	for _, bid := range m.cluster.UnderReplicated() {
-		bid := bid
-		if m.repairing[bid] {
-			continue
-		}
-		b := m.cluster.Block(bid)
-		lost := len(m.cluster.Replicas(bid)) == 0
-		if b.Parity && !lost {
-			continue
-		}
-		f := m.cluster.File(b.File)
-		encoded := f != nil && f.Encoded
-		if lost && !encoded {
-			continue // unrecoverable without erasure protection
-		}
-		m.repairing[bid] = true
-		m.ctr.repairs.Inc()
-		if _, ok := m.repairStart[bid]; !ok {
-			m.repairStart[bid] = m.cluster.Engine().Now()
-		}
-		var job *condor.Job
-		job = &condor.Job{
-			Name:  fmt.Sprintf("repair:%s:block%d", b.File, bid),
-			Class: condor.ClassImmediate,
-			Retry: m.cfg.RepairRetry,
-			Run: func(_ *condor.Machine, done func(error)) {
-				if job.Attempt > 1 {
-					m.ctr.repairsRetried.Inc()
-				}
-				// Re-read the damage each attempt: a retry may find the
-				// block already healed (restarted node) or newly lost.
-				if lost || len(m.cluster.Replicas(bid)) == 0 {
-					m.cluster.ReconstructBlock(bid, done)
-					return
-				}
-				// Top the block back up to its target in one job.
-				f2 := m.cluster.File(b.File)
-				need := 1
-				if f2 != nil && !f2.Encoded {
-					need = f2.TargetRepl - len(m.cluster.Replicas(bid))
-				}
-				if need <= 0 {
-					done(nil)
-					return
-				}
-				targets := m.cluster.PlacementPolicy().ChooseTargets(m.cluster, b, need, -1, nil)
-				if len(targets) == 0 {
-					done(fmt.Errorf("erms: no repair target for block %d", bid))
-					return
-				}
-				remaining := len(targets)
-				var firstErr error
-				for _, t := range targets {
-					m.cluster.AddReplica(bid, t, func(err error) {
-						if err != nil && firstErr == nil {
-							firstErr = err
-						}
-						remaining--
-						if remaining == 0 {
-							done(firstErr)
-						}
-					})
-				}
-			},
-			// Notify (not done) observes terminal resolution, so timeout
-			// reclaims are bookkept too and repairing[bid] stays held
-			// across retry backoffs (no duplicate repair submissions).
-			Notify: func(j *condor.Job) {
-				delete(m.repairing, bid)
-				if j.State == condor.StateCompleted {
-					if start, ok := m.repairStart[bid]; ok {
-						m.ttr.Add((m.cluster.Engine().Now() - start).Seconds())
-						delete(m.repairStart, bid)
-					}
-					if m.corruptPending[bid] {
-						m.ctr.corruptFixed.Inc()
-						delete(m.corruptPending, bid)
-					}
-					return
-				}
-				m.ctr.failedJobs.Inc()
-				delete(m.repairStart, bid)
-				// The block is still damaged; re-arm the sweep so a later
-				// pass retries fresh once the cluster may have healed.
-				m.armRepairRescan()
-			},
-		}
-		m.sched.Submit(job)
-	}
 }
 
 // machineAd builds the Condor ClassAd describing a datanode: the mechanism
@@ -355,21 +301,23 @@ func (m *Manager) Registry() *metrics.Registry { return m.reg }
 // struct fields.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Decisions:       m.ctr.decisions.Int(),
-		Increases:       m.ctr.increases.Int(),
-		Decreases:       m.ctr.decreases.Int(),
-		Encodes:         m.ctr.encodes.Int(),
-		Decodes:         m.ctr.decodes.Int(),
-		Commissions:     m.ctr.commissions.Int(),
-		Shutdowns:       m.ctr.shutdowns.Int(),
-		Repairs:         m.ctr.repairs.Int(),
-		FailedJobs:      m.ctr.failedJobs.Int(),
-		RepairsRetried:  m.ctr.repairsRetried.Int(),
-		CorruptFound:    m.ctr.corruptFound.Int(),
-		CorruptFixed:    m.ctr.corruptFixed.Int(),
-		StaleNodes:      len(m.cluster.StaleNodes()),
-		TimeToRepairP50: m.ttr.Quantile(0.50),
-		TimeToRepairP99: m.ttr.Quantile(0.99),
+		Decisions:        m.ctr.decisions.Int(),
+		Increases:        m.ctr.increases.Int(),
+		Decreases:        m.ctr.decreases.Int(),
+		Encodes:          m.ctr.encodes.Int(),
+		Decodes:          m.ctr.decodes.Int(),
+		Commissions:      m.ctr.commissions.Int(),
+		Shutdowns:        m.ctr.shutdowns.Int(),
+		Repairs:          m.ctr.repairs.Int(),
+		FailedJobs:       m.ctr.failedJobs.Int(),
+		RepairsRetried:   m.ctr.repairsRetried.Int(),
+		RepairsDeferred:  m.ctr.repairsDeferred.Int(),
+		RepairsThrottled: m.ctr.repairsThrottled.Int(),
+		CorruptFound:     m.ctr.corruptFound.Int(),
+		CorruptFixed:     m.ctr.corruptFixed.Int(),
+		StaleNodes:       len(m.cluster.StaleNodes()),
+		TimeToRepairP50:  m.ttr.Quantile(0.50),
+		TimeToRepairP99:  m.ttr.Quantile(0.99),
 	}
 }
 

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// quickDegrade keeps CI fast: the default namespace (the repair backlog
+// must be big enough to contend with clients) but a two-point cap grid.
+func quickDegrade() DegradeConfig {
+	return DegradeConfig{Seed: 1, Caps: []int{-1, 4}}
+}
+
+// TestDegradeDeterminism renders the study twice in-process; the byte
+// streams must match (the `make degrade` gate runs this under -race).
+func TestDegradeDeterminism(t *testing.T) {
+	a := DegradeTable(DegradeDemo(quickDegrade())).String()
+	b := DegradeTable(DegradeDemo(quickDegrade())).String()
+	if a != b {
+		t.Fatalf("degrade study not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestDegradeShape pins the study's headline claims: capping repair
+// streams gives foreground reads strictly more throughput than the
+// unthrottled baseline, safe mode defers the storm, and no variant loses
+// data.
+func TestDegradeShape(t *testing.T) {
+	rows := DegradeDemo(quickDegrade())
+	byKey := map[[2]int]DegradeRow{}
+	for _, r := range rows {
+		sm := 0
+		if r.SafeMode {
+			sm = 1
+		}
+		byKey[[2]int{r.Cap, sm}] = r
+	}
+
+	unthrottled, ok := byKey[[2]int{-1, 0}]
+	if !ok {
+		t.Fatal("missing unthrottled row")
+	}
+	capped, ok := byKey[[2]int{4, 0}]
+	if !ok {
+		t.Fatal("missing cap4 row")
+	}
+	if capped.ReadMBps <= unthrottled.ReadMBps {
+		t.Errorf("throttled repair should leave clients more bandwidth: cap4 %.2f MB/s vs unlimited %.2f MB/s",
+			capped.ReadMBps, unthrottled.ReadMBps)
+	}
+	if capped.Throttled == 0 {
+		t.Error("cap4 run never throttled a repair candidate")
+	}
+	if unthrottled.Deferred != 0 || unthrottled.SafeModeIn != 0 {
+		t.Errorf("guard-off run touched safe mode: deferred=%d entries=%d",
+			unthrottled.Deferred, unthrottled.SafeModeIn)
+	}
+
+	for _, sm := range []int{0, 1} {
+		for _, c := range quickDegrade().Caps {
+			r, ok := byKey[[2]int{c, sm}]
+			if !ok {
+				t.Fatalf("missing row cap=%d safemode=%d", c, sm)
+			}
+			if r.Lost != 0 {
+				t.Errorf("cap=%d safemode=%d lost %d blocks", c, sm, r.Lost)
+			}
+			if r.ReadsDone == 0 {
+				t.Errorf("cap=%d safemode=%d completed no reads in the outage window", c, sm)
+			}
+			if sm == 1 {
+				if r.SafeModeIn == 0 {
+					t.Errorf("cap=%d guard-on run never entered safe mode", c)
+				}
+				if r.Deferred == 0 {
+					t.Errorf("cap=%d guard-on run never deferred a repair", c)
+				}
+			}
+		}
+	}
+
+	// The guard must have exited in time for deferred repairs to run:
+	// under-replication at the horizon should be no worse than the repair
+	// backlog a capped run carries.
+	smRow := byKey[[2]int{4, 1}]
+	if smRow.UnderReplEnd > 0 && smRow.UnderReplEnd >= 3*36 {
+		t.Errorf("guard-on run never repaired anything: %d blocks still under-replicated", smRow.UnderReplEnd)
+	}
+	_ = time.Minute
+}

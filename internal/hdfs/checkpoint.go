@@ -406,6 +406,13 @@ func (c *Cluster) RestoreCheckpoint(r io.Reader) error {
 	// cluster that ran the interval for real.
 	c.engine.RunUntil(st.now)
 	c.commitCheckpoint(st)
+	// A freshly restored namenode does not yet know the cluster's health
+	// (HDFS starts in safe mode until block reports arrive): when the guard
+	// is enabled, enter safe mode now and let the monitor exit it once the
+	// thresholds hold for the dwell period.
+	if c.cfg.SafeMode.Enabled {
+		c.enterSafeMode("restore")
+	}
 	return nil
 }
 

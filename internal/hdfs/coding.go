@@ -36,6 +36,10 @@ func (c *Cluster) EncodeFile(path string, k, m int, done func(error)) {
 		prev := c.tracer.Push(sp)
 		defer c.tracer.Pop(prev)
 	}
+	if err := c.writable(); err != nil {
+		c.finish(done, err)
+		return
+	}
 	f := c.files[path]
 	if f == nil {
 		c.finish(done, fmt.Errorf("hdfs: no such file %q", path))
@@ -457,6 +461,10 @@ func (c *Cluster) DecodeFile(path string, n int, done func(error)) {
 		}
 		prev := c.tracer.Push(sp)
 		defer c.tracer.Pop(prev)
+	}
+	if err := c.writable(); err != nil {
+		c.finish(done, err)
+		return
 	}
 	f := c.files[path]
 	if f == nil {

@@ -114,6 +114,7 @@ type Datanode struct {
 	MaxSessions  int
 	sessions     int
 	xferOut      int     // outbound replication transfers in flight
+	xferIn       int     // inbound replication transfers in flight
 	pendingAdds  int     // inbound replicas scheduled but not yet landed
 	pendingBytes float64 // bytes those pending replicas will occupy
 	waiting      []*pendingSession
@@ -135,6 +136,11 @@ type Datanode struct {
 	// model, the namenode has not noticed yet. With heartbeats disabled
 	// death is declared instantly and crashed is never observable.
 	crashed bool
+	// stalled suppresses the node's heartbeats without touching its data
+	// plane: the process is alive and serving, but the namenode stops
+	// hearing from it (GC pause, control-plane congestion). The chaos
+	// node-flapping fault toggles it to drive stale→rejoin→stale cycles.
+	stalled bool
 	// lastHeartbeat is the virtual time of the last heartbeat the
 	// namenode received from this node.
 	lastHeartbeat time.Duration
@@ -198,9 +204,12 @@ func (d *Datanode) UncommittedFree() float64 { return d.Capacity - d.Used - d.pe
 
 // OpenActiveInterval returns how long the node has been active since its
 // last state transition (zero when it is not currently active). Together
-// with ActiveTime it gives total uptime for energy accounting.
+// with ActiveTime it gives total uptime for energy accounting. A crashed
+// node still carries StateActive until the heartbeat detector declares it
+// dead, but Kill already closed its interval — its process is not running,
+// so no interval is open.
 func (d *Datanode) OpenActiveInterval(now time.Duration) time.Duration {
-	if d.State != StateActive {
+	if d.State != StateActive || d.crashed {
 		return 0
 	}
 	return now - d.activeSince
@@ -253,10 +262,15 @@ type Config struct {
 	// (default), Kill notifies the manager instantly — the pre-heartbeat
 	// behaviour most unit tests rely on.
 	Heartbeat HeartbeatConfig
+	// SafeMode enables the namenode safe-mode degradation guard. Off by
+	// default; like Heartbeat it is detector tuning, excluded from the
+	// checkpoint config digest.
+	SafeMode SafeModeConfig
 }
 
 func (c *Config) applyDefaults() {
 	c.Heartbeat.applyDefaults()
+	c.SafeMode.applyDefaults()
 	if c.BlockSize <= 0 {
 		c.BlockSize = 64 * topology.MB
 	}
@@ -295,6 +309,15 @@ type Metrics struct {
 	CorruptDetected  int     // corrupt replicas surfaced (scrub or read)
 	ChecksumFailures int     // client reads that hit a corrupt replica
 	CorruptBytes     float64 // bytes of corrupt replicas quarantined
+	// Degradation counters (safe mode + epoch fencing).
+	SafeModeEntries      int // times the namenode entered safe mode
+	SafeModeExits        int // times it left safe mode
+	SafeModeRejections   int // mutations rejected with ErrSafeMode
+	FencedWritesRejected int // mutations rejected with ErrFenced
+	// FencedWritesApplied counts journal entries appended while the writer
+	// was fenced — the split-brain interleaving the gates exist to prevent.
+	// It must stay zero; the epoch invariant oracle asserts that.
+	FencedWritesApplied int
 }
 
 // BlockReadEvent describes one served block read; ERMS feeds these into the
@@ -350,6 +373,19 @@ type Cluster struct {
 	journal        *auditlog.Journal
 	replaying      bool
 	ckptJournalSeq uint64
+
+	// epoch is this namenode's writer epoch. It is legitimate only while it
+	// matches the attached journal's epoch; a standby promotion bumps the
+	// journal's epoch, fencing this writer (see Fenced). Transient election
+	// state: not checkpointed, not part of StateDigest.
+	epoch uint64
+
+	// Safe-mode state (see safemode.go). Transient detector output, never
+	// checkpointed or digested.
+	safeMode       bool
+	safeModeManual bool          // entered via EnterSafeMode; only LeaveSafeMode exits
+	healthySince   time.Duration // when thresholds were last re-met (-1: unhealthy)
+	onSafeMode     []func(bool)
 
 	// partitioned racks are cut off from the rest of the cluster (and
 	// from external clients); intra-rack traffic still works.
@@ -407,6 +443,11 @@ func New(engine *sim.Engine, cfg Config) *Cluster {
 	if cfg.Heartbeat.Enabled {
 		sim.NewTicker(engine, c.cfg.Heartbeat.Interval, c.heartbeatTick)
 	}
+	c.epoch = 1
+	c.healthySince = -1
+	if cfg.SafeMode.Enabled {
+		sim.NewTicker(engine, c.cfg.SafeMode.CheckInterval, c.safeModeTick)
+	}
 	return c
 }
 
@@ -459,6 +500,17 @@ func (c *Cluster) RegisterMetrics(r *metrics.Registry) {
 	r.GaugeFunc("hdfs_blocks_rebuilt_total", func() float64 { return float64(m.BlocksRebuilt) })
 	r.GaugeFunc("hdfs_checksum_failures_total", func() float64 { return float64(m.ChecksumFailures) })
 	r.GaugeFunc("hdfs_corrupt_detected_total", func() float64 { return float64(m.CorruptDetected) })
+	r.GaugeFunc("hdfs_safemode_entries_total", func() float64 { return float64(m.SafeModeEntries) })
+	r.GaugeFunc("hdfs_safemode_exits_total", func() float64 { return float64(m.SafeModeExits) })
+	r.GaugeFunc("hdfs_safemode_rejections_total", func() float64 { return float64(m.SafeModeRejections) })
+	r.GaugeFunc("hdfs_fenced_writes_rejected_total", func() float64 { return float64(m.FencedWritesRejected) })
+	r.GaugeFunc("hdfs_fenced_writes_applied_total", func() float64 { return float64(m.FencedWritesApplied) })
+	r.GaugeFunc("hdfs_safemode_active", func() float64 {
+		if c.safeMode {
+			return 1
+		}
+		return 0
+	})
 	r.GaugeFunc("hdfs_active_reads", func() float64 { return float64(c.activeReads) })
 	r.GaugeFunc("hdfs_files", func() float64 { return float64(len(c.files)) })
 	r.GaugeFunc("hdfs_bytes_stored", c.TotalUsed)
@@ -638,6 +690,13 @@ func (c *Cluster) OnCorruptReplica(fn func(BlockID, DatanodeID)) {
 	c.onCorrupt = append(c.onCorrupt, fn)
 }
 
+// OnSafeMode registers a callback fired on every safe-mode transition; the
+// argument is true on entry, false on exit. The manager uses exit to
+// release repair decisions deferred while the namenode was degraded.
+func (c *Cluster) OnSafeMode(fn func(bool)) {
+	c.onSafeMode = append(c.onSafeMode, fn)
+}
+
 // clientIP fabricates a stable client address for audit records. Negative
 // node IDs (no locality hint) map to the namenode's address.
 func (c *Cluster) clientIP(n topology.NodeID) string {
@@ -653,6 +712,9 @@ func (c *Cluster) clientIP(n topology.NodeID) string {
 // writer hint places the first replica on that node per HDFS semantics
 // (pass -1 for no locality hint).
 func (c *Cluster) CreateFile(path string, size float64, repl int, writer topology.NodeID) (*INode, error) {
+	if err := c.writable(); err != nil {
+		return nil, err
+	}
 	if _, ok := c.files[path]; ok {
 		return nil, fmt.Errorf("hdfs: file %q exists", path)
 	}
@@ -715,6 +777,9 @@ func (c *Cluster) unwindCreate(f *INode) {
 
 // DeleteFile removes a file and frees its replicas.
 func (c *Cluster) DeleteFile(path string) error {
+	if err := c.writable(); err != nil {
+		return err
+	}
 	f := c.files[path]
 	if f == nil {
 		return fmt.Errorf("hdfs: no such file %q", path)
@@ -744,6 +809,9 @@ func (c *Cluster) DeleteFile(path string) error {
 // audit log records cmd=rename with both paths so downstream consumers
 // (the ERMS judge migrates its per-file heat state) can follow the move.
 func (c *Cluster) Rename(src, dst string) error {
+	if err := c.writable(); err != nil {
+		return err
+	}
 	f := c.files[src]
 	if f == nil {
 		return fmt.Errorf("hdfs: no such file %q", src)

@@ -55,7 +55,7 @@ func (c *Cluster) heartbeatTick(now time.Duration) {
 		case StateStandby, StateDown, StateDecommissioned:
 			continue
 		}
-		if !d.crashed && !c.partitioned[c.topo.Rack(topology.NodeID(d.ID))] {
+		if !d.crashed && !d.stalled && !c.partitioned[c.topo.Rack(topology.NodeID(d.ID))] {
 			d.lastHeartbeat = now
 			if d.Stale {
 				d.Stale = false
@@ -122,6 +122,10 @@ func (c *Cluster) declareDead(id DatanodeID) {
 	d.blocks.Each(func(bid BlockID) {
 		c.detachReplica(c.blocks[bid], id)
 	})
+	// Re-evaluate safe mode before repair decisions fire: in a correlated
+	// failure the guard must trip mid-cascade so the remaining deaths defer
+	// their re-replication instead of scheduling a repair storm.
+	c.evalSafeMode(c.engine.Now())
 	for _, fn := range c.onDeadNode {
 		fn(id)
 	}

@@ -24,8 +24,15 @@ import (
 
 // SetJournal attaches a write-ahead journal; every subsequent durable
 // mutation appends a typed entry. Attach before the first mutation — the
-// journal does not backfill.
-func (c *Cluster) SetJournal(j *auditlog.Journal) { c.journal = j }
+// journal does not backfill. The cluster adopts the journal's writer epoch
+// (see Fenced): a freshly attached journal makes this namenode the
+// legitimate writer.
+func (c *Cluster) SetJournal(j *auditlog.Journal) {
+	c.journal = j
+	if j != nil {
+		c.epoch = j.Epoch()
+	}
+}
 
 // Journal returns the attached write-ahead journal, or nil.
 func (c *Cluster) Journal() *auditlog.Journal { return c.journal }
@@ -35,6 +42,13 @@ func (c *Cluster) Journal() *auditlog.Journal { return c.journal }
 func (c *Cluster) jlog(e auditlog.Entry) {
 	if c.journal == nil || c.replaying {
 		return
+	}
+	// Tripwire, not a gate: mutations are rejected at the API surface when
+	// the writer is fenced, so reaching this point fenced means a stale
+	// writer interleaved a mutation into the shared journal — the
+	// split-brain the epoch invariant oracle asserts never happens.
+	if c.Fenced() {
+		c.metrics.FencedWritesApplied++
 	}
 	e.Time = c.engine.Now()
 	c.journal.Append(e)

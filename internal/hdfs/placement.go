@@ -80,11 +80,20 @@ func (p *DefaultPolicy) ChooseTargets(c *Cluster, b *Block, count int, writer Da
 	for k := range exclude {
 		taken[k] = true
 	}
+	existing := c.replicas[b.ID]
+	// Racks covered by existing replicas plus picks so far. When a repair
+	// finds the survivors huddled in a single rack (the cross-rack copy was
+	// the one that died), the slot heuristics below must not co-locate the
+	// new replica with them — one rack outage would erase the block.
+	rackSpan := map[int]bool{}
+	for _, r := range existing {
+		rackSpan[c.topo.Rack(topology.NodeID(r))] = true
+	}
 	add := func(id DatanodeID) {
 		chosen = append(chosen, id)
 		taken[id] = true
+		rackSpan[c.topo.Rack(topology.NodeID(id))] = true
 	}
-	existing := c.replicas[b.ID]
 	pick := func(pred func(DatanodeID) bool) (DatanodeID, bool) {
 		var found DatanodeID = -1
 		c.scanEligible(b, taken, func(id DatanodeID) bool {
@@ -134,19 +143,32 @@ func (p *DefaultPolicy) ChooseTargets(c *Cluster, b *Block, count int, writer Da
 				id, ok = pick(nil)
 			}
 		case 2:
-			// Same rack as the second replica, different node.
-			secondRack := -1
-			if len(existing) > 1 {
-				secondRack = rackOf(existing[1])
-			} else if len(chosen) > 0 {
-				secondRack = rackOf(chosen[len(chosen)-1])
+			// Same rack as the second replica, different node — unless the
+			// replicas so far all share one rack (a re-replication whose
+			// survivors lost their cross-rack copy): then restore rack
+			// diversity first, as HDFS's replication monitor does.
+			if len(rackSpan) < 2 {
+				id, ok = pick(func(n DatanodeID) bool { return !rackSpan[rackOf(n)] })
 			}
-			id, ok = pick(func(n DatanodeID) bool { return rackOf(n) == secondRack })
+			if !ok {
+				secondRack := -1
+				if len(existing) > 1 {
+					secondRack = rackOf(existing[1])
+				} else if len(chosen) > 0 {
+					secondRack = rackOf(chosen[len(chosen)-1])
+				}
+				id, ok = pick(func(n DatanodeID) bool { return rackOf(n) == secondRack })
+			}
 			if !ok {
 				id, ok = pick(nil)
 			}
 		default:
-			id, ok = pick(nil)
+			if len(rackSpan) < 2 {
+				id, ok = pick(func(n DatanodeID) bool { return !rackSpan[rackOf(n)] })
+			}
+			if !ok {
+				id, ok = pick(nil)
+			}
 		}
 		if !ok {
 			break

@@ -12,11 +12,12 @@ import (
 )
 
 // chooseSource picks the replica to copy from: least busy first (serving
-// sessions plus outbound transfers), then a node in the target's rack
-// (cheaper transfer), then smallest ID. Load comes first so a burst of
-// copies fans out across source disks instead of hammering one replica.
-// Standby holders can serve replication even though they do not serve
-// client reads (the node is powered for the transfer).
+// sessions plus outbound AND inbound transfers — a node mid-way through
+// receiving a repair copy is a busy disk, not an idle source), then a node
+// in the target's rack (cheaper transfer), then smallest ID. Load comes
+// first so a burst of copies fans out across source disks instead of
+// hammering one replica. Standby holders can serve replication even though
+// they do not serve client reads (the node is powered for the transfer).
 //
 // allowLocal permits the target node itself as the source (a node-local
 // disk read). Re-replicating a block to a node already holding it is
@@ -40,7 +41,7 @@ func (c *Cluster) chooseSource(id BlockID, target DatanodeID, allowLocal bool) (
 		if c.topo.SameRack(topology.NodeID(r), topology.NodeID(target)) {
 			rackTier = 0
 		}
-		key := [3]int{d.sessions + d.xferOut, rackTier, int(r)}
+		key := [3]int{d.sessions + d.xferOut + d.xferIn, rackTier, int(r)}
 		if best < 0 || less3(key, bestKey) {
 			best, bestKey = r, key
 		}
@@ -60,6 +61,13 @@ func less3(a, b [3]int) bool {
 // AddReplica copies block id onto target, calling done(err) when the
 // transfer lands. The copy streams disk-to-disk over the fabric.
 func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
+	c.AddReplicaLimited(id, target, 0, done)
+}
+
+// AddReplicaLimited is AddReplica with a per-flow rate cap in bytes/sec
+// (0 = unlimited). The repair pipeline uses it to keep recovery traffic
+// inside its bandwidth budget; the cap survives mid-copy retries.
+func (c *Cluster) AddReplicaLimited(id BlockID, target DatanodeID, maxRate float64, done func(error)) {
 	parentSpan := c.tracer.Current()
 	sp := c.tracer.Begin("hdfs.replica_add", parentSpan)
 	c.tracer.SetAttrInt(sp, "block", int64(id))
@@ -128,12 +136,14 @@ func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
 		}
 		sd := c.datanodes[src]
 		sd.xferOut++
+		td.xferIn++
 		c.tracer.SetAttrInt(sp, "source", int64(src))
 		path := c.topo.TransferPath(topology.NodeID(src), topology.NodeID(target))
 		prev := c.tracer.Push(sp)
-		flow := c.fabric.StartFlow(path, b.Size, 0, func(f *netsim.Flow) {
+		flow := c.fabric.StartFlow(path, b.Size, maxRate, func(f *netsim.Flow) {
 			delete(sd.activeFlows, f)
 			sd.xferOut--
+			td.xferIn--
 			settle()
 			if td.State == StateDown || td.crashed {
 				fail(fmt.Errorf("hdfs: target %s died during copy", td.Name))
@@ -147,14 +157,15 @@ func (c *Cluster) AddReplica(id BlockID, target DatanodeID, done func(error)) {
 		})
 		c.tracer.Pop(prev)
 		// Source death (or a partition cutting the transfer) mid-copy
-		// retries from another source.
+		// retries from another source, keeping the rate cap.
 		sd.activeFlows[flow] = &flowHandle{peer: topology.NodeID(target), abort: func() {
 			sd.xferOut--
+			td.xferIn--
 			settle()
 			c.tracer.SetAttr(sp, "error", "copy aborted; retrying")
 			c.tracer.End(sp)
 			p := c.tracer.Push(parentSpan)
-			c.AddReplica(id, target, done)
+			c.AddReplicaLimited(id, target, maxRate, done)
 			c.tracer.Pop(p)
 		}}
 	})
@@ -229,6 +240,10 @@ func (c *Cluster) SetReplication(path string, n int, mode ReplicationMode, done 
 		}
 		prev := c.tracer.Push(sp)
 		defer c.tracer.Pop(prev)
+	}
+	if err := c.writable(); err != nil {
+		c.finish(done, err)
+		return
 	}
 	f := c.files[path]
 	if f == nil {
@@ -350,6 +365,12 @@ func (c *Cluster) grow(f *INode, n int, mode ReplicationMode, done func(error)) 
 // file's target (parity blocks target 1 replica). The set is maintained
 // incrementally at every replica and target mutation, so this costs
 // O(degraded blocks), not O(block space).
+//
+// Ordering contract: the result is always sorted ascending by BlockID.
+// The repair pipeline's priority queue admits blocks in (tier, BlockID)
+// order, so this ordering is load-bearing for determinism — two same-seed
+// runs must enumerate identical sequences. The sort below guarantees that
+// regardless of underSet's map iteration order; a regression test pins it.
 func (c *Cluster) UnderReplicated() []BlockID {
 	out := make([]BlockID, 0, len(c.underSet))
 	for bid := range c.underSet {

@@ -1,0 +1,166 @@
+package hdfs
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"erms/internal/sim"
+	"erms/internal/topology"
+)
+
+// TestUnderReplicatedOrderContract pins the documented ordering contract:
+// UnderReplicated returns blocks ascending by BlockID, identically on
+// every call and identically across same-seed runs. The repair pipeline's
+// (tier, BlockID) admission order — and with it every downstream transfer
+// schedule — is built on this.
+func TestUnderReplicatedOrderContract(t *testing.T) {
+	run := func() []BlockID {
+		e := sim.NewEngine()
+		c := New(e, Config{Topology: topology.New(topology.Config{})})
+		for i, p := range []string{"/u/a", "/u/b", "/u/c", "/u/d", "/u/e"} {
+			if _, err := c.CreateFile(p, 192*mb, 2+i%3, -1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Two node deaths damage an interleaved, non-contiguous set of
+		// blocks — the case where map-iteration order would leak if the
+		// contract were ever broken.
+		c.Kill(3)
+		c.Kill(11)
+		e.RunUntil(time.Second)
+		return c.UnderReplicated()
+	}
+
+	a := run()
+	if len(a) == 0 {
+		t.Fatal("no under-replicated blocks after two node deaths")
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] }) {
+		t.Fatalf("UnderReplicated not ascending by BlockID: %v", a)
+	}
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("same-seed runs disagree on damage: %d vs %d blocks", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed runs diverge at index %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestChooseSourceTieBreakOrder pins the source-selection key, most
+// significant first: transfer load (sessions + outbound + INBOUND — a node
+// mid-way through receiving a copy is a busy disk, not an idle source),
+// then rack proximity to the target, then smallest ID.
+func TestChooseSourceTieBreakOrder(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{})
+	c := New(e, Config{Topology: topo})
+	f, err := c.CreateFile("/src", 64*mb, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid := f.Blocks[0]
+	reps := c.Replicas(bid)
+	// Default placement: slots 1 and 2 share a rack, slot 0 sits elsewhere.
+	r0, r1, r2 := reps[0], reps[1], reps[2]
+	if !topo.SameRack(topology.NodeID(r1), topology.NodeID(r2)) ||
+		topo.SameRack(topology.NodeID(r0), topology.NodeID(r1)) {
+		t.Fatalf("placement precondition broken: replicas %v", reps)
+	}
+	low, high := r1, r2
+	if high < low {
+		low, high = high, low
+	}
+	// Target: a non-holder in the same rack as replicas 1 and 2.
+	var target DatanodeID = -1
+	for _, d := range c.Datanodes() {
+		if !d.HasBlock(bid) && topo.SameRack(topology.NodeID(d.ID), topology.NodeID(r1)) {
+			target = d.ID
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no same-rack non-holder available as target")
+	}
+
+	// All idle: rack proximity wins, then smallest ID among the two
+	// same-rack holders.
+	if got, ok := c.chooseSource(bid, target, false); !ok || got != low {
+		t.Fatalf("idle cluster: source = %v, want same-rack low ID %v", got, low)
+	}
+
+	// The preferred source starts receiving a transfer: xferIn alone must
+	// disqualify it in favor of the equally-near idle holder.
+	c.datanodes[low].xferIn++
+	if got, ok := c.chooseSource(bid, target, false); !ok || got != high {
+		t.Fatalf("busy-in low: source = %v, want other same-rack holder %v", got, high)
+	}
+
+	// Both same-rack holders busy: load outranks rack proximity, so the
+	// idle remote replica wins.
+	c.datanodes[high].xferIn++
+	if got, ok := c.chooseSource(bid, target, false); !ok || got != r0 {
+		t.Fatalf("same-rack busy: source = %v, want idle remote %v", got, r0)
+	}
+
+	// Load all equal again: rack proximity reasserts itself over ID.
+	c.datanodes[r0].xferOut++
+	if got, ok := c.chooseSource(bid, target, false); !ok || got != low {
+		t.Fatalf("uniform load: source = %v, want same-rack low ID %v", got, low)
+	}
+
+	c.datanodes[low].xferIn--
+	c.datanodes[high].xferIn--
+	c.datanodes[r0].xferOut--
+}
+
+// TestRereplicationRestoresRackDiversity is the regression test for the
+// placement fix this storm suite exposed: when a block's cross-rack
+// replica dies and the survivors huddle in one rack, re-replication must
+// place the new copy in a different rack — the slot heuristics alone would
+// co-locate it and leave the block one rack outage from extinction.
+func TestRereplicationRestoresRackDiversity(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{})
+	c := New(e, Config{Topology: topo})
+	// Writer-local slot 0 on node 0; slots 1 and 2 land together in some
+	// other rack. Killing node 0 leaves every block single-rack.
+	f, err := c.CreateFile("/div", 192*mb, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rackSpan := func(bid BlockID) int {
+		racks := map[int]bool{}
+		for _, r := range c.Replicas(bid) {
+			racks[topo.Rack(topology.NodeID(r))] = true
+		}
+		return len(racks)
+	}
+	for _, bid := range f.Blocks {
+		if got := rackSpan(bid); got < 2 {
+			t.Fatalf("block %d not rack-diverse at creation: span %d", bid, got)
+		}
+	}
+	c.Kill(0)
+	for _, bid := range f.Blocks {
+		if got := rackSpan(bid); got != 1 {
+			t.Fatalf("scenario precondition: block %d survivors span %d racks, want 1", bid, got)
+		}
+	}
+
+	stop := c.StartReplicationMonitor(5 * time.Second)
+	defer stop()
+	e.RunUntil(10 * time.Minute)
+	for _, bid := range f.Blocks {
+		if got := len(c.Replicas(bid)); got != 3 {
+			t.Fatalf("block %d not healed: %d replicas", bid, got)
+		}
+		if got := rackSpan(bid); got < 2 {
+			t.Fatalf("block %d repaired into a single rack: replicas %v", bid, c.Replicas(bid))
+		}
+	}
+	checkConsistency(t, c)
+}

@@ -202,6 +202,7 @@ func (c *Cluster) Restart(id DatanodeID) {
 	d.sessions = 0
 	d.waiting = nil
 	d.crashed = false
+	d.stalled = false
 	d.Stale = false
 	d.State = StateActive
 	d.activeSince = c.engine.Now()

@@ -47,6 +47,10 @@ func (c *Cluster) WriteFile(client topology.NodeID, path string, size float64, r
 			c.engine.Schedule(0, func() { done(res) })
 		}
 	}
+	if err := c.writable(); err != nil {
+		fail(err)
+		return
+	}
 	if _, ok := c.files[path]; ok {
 		fail(fmt.Errorf("hdfs: file %q exists", path))
 		return

@@ -17,6 +17,13 @@
 //   - condor: scheduler slot accounting never leaks — machine slots,
 //     running counts, job-state partition, and outcome stats agree;
 //   - metrics: the read and storage counters tie out against HDFS state;
+//   - safemode: the guard's entry/exit books balance and a probe mutation
+//     bounces while it is up — safe mode never loses acknowledged data;
+//   - epoch: journal-epoch fencing holds — entry epochs are monotone, the
+//     writer never runs ahead of the journal, and no fenced write was
+//     applied (exactly one unfenced writer per epoch);
+//   - repair: the repair pipeline's concurrency never exceeds its
+//     cluster-wide or per-node caps;
 //   - restore (opt-in): a shadow cluster rebuilt from a checkpoint — and,
 //     under a Watcher with a journal attached, from a baseline checkpoint
 //     plus journal-tail replay — matches the live namenode exactly.
@@ -27,6 +34,7 @@ package invariant
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -72,14 +80,109 @@ func Check(t Target) []string {
 		errs = append(errs, checkDurability(t)...)
 	}
 	errs = append(errs, checkMetrics(t)...)
+	errs = append(errs, checkSafeMode(t)...)
+	errs = append(errs, checkEpoch(t)...)
 	if t.CheckRestore {
 		errs = append(errs, checkRestore(t)...)
 	}
 	if t.Manager != nil {
 		errs = append(errs, checkEnergy(t)...)
 		errs = append(errs, checkCondor(t)...)
+		errs = append(errs, checkRepairCaps(t)...)
 	}
 	sort.Strings(errs)
+	return errs
+}
+
+// checkSafeMode asserts the safe-mode guard's books balance and that it
+// actually guards: entries and exits alternate (their difference is the
+// current state), and while the guard is up a probe mutation must bounce
+// with ErrSafeMode leaving the namespace untouched — acknowledged data is
+// never lost to a mutation that slipped through.
+func checkSafeMode(t Target) []string {
+	var errs []string
+	c := t.Cluster
+	m := c.Metrics()
+	if m.SafeModeExits > m.SafeModeEntries {
+		errs = append(errs, fmt.Sprintf("safemode: %d exits exceed %d entries", m.SafeModeExits, m.SafeModeEntries))
+	}
+	open := m.SafeModeEntries - m.SafeModeExits
+	if open != 0 && open != 1 {
+		errs = append(errs, fmt.Sprintf("safemode: %d entries - %d exits = %d, want 0 or 1",
+			m.SafeModeEntries, m.SafeModeExits, open))
+	}
+	if inSM := c.InSafeMode(); inSM != (open == 1) {
+		errs = append(errs, fmt.Sprintf("safemode: InSafeMode()=%v but entry/exit counters say %v", inSM, open == 1))
+	}
+	if c.InSafeMode() {
+		before := len(c.FilePaths())
+		_, err := c.CreateFile("/invariant/safemode-probe", 1, 1, -1)
+		if !errors.Is(err, hdfs.ErrSafeMode) {
+			errs = append(errs, fmt.Sprintf("safemode: probe create in safe mode returned %v, want ErrSafeMode", err))
+		}
+		if after := len(c.FilePaths()); after != before {
+			errs = append(errs, fmt.Sprintf("safemode: probe create mutated the namespace (%d -> %d files)", before, after))
+		}
+	}
+	return errs
+}
+
+// checkEpoch asserts the journal-epoch fence: the writer's epoch never
+// runs ahead of the journal's, journaled entries carry non-decreasing
+// epochs bounded by the journal's current one, and no fenced write was
+// ever applied ("exactly one unfenced writer per epoch").
+func checkEpoch(t Target) []string {
+	var errs []string
+	c := t.Cluster
+	if n := c.Metrics().FencedWritesApplied; n != 0 {
+		errs = append(errs, fmt.Sprintf("epoch: %d fenced writes were applied to durable state", n))
+	}
+	j := c.Journal()
+	if j == nil {
+		return errs
+	}
+	if c.Epoch() > j.Epoch() {
+		errs = append(errs, fmt.Sprintf("epoch: cluster epoch %d ahead of journal epoch %d", c.Epoch(), j.Epoch()))
+	}
+	prev := uint64(0)
+	for _, e := range j.Entries() {
+		if e.Epoch < prev {
+			errs = append(errs, fmt.Sprintf("epoch: journal seq %d epoch %d decreased from %d", e.Seq, e.Epoch, prev))
+			break
+		}
+		prev = e.Epoch
+	}
+	if prev > j.Epoch() {
+		errs = append(errs, fmt.Sprintf("epoch: journaled epoch %d exceeds journal epoch %d", prev, j.Epoch()))
+	}
+	return errs
+}
+
+// checkRepairCaps asserts the repair pipeline's throttles actually bound
+// it: active repair jobs within the cluster-wide cap, per-node inbound
+// copies within the per-node cap, and the manager's own cap tripwire
+// untripped.
+func checkRepairCaps(t Target) []string {
+	var errs []string
+	m := t.Manager
+	caps := m.RepairCaps()
+	if caps.MaxStreams > 0 && m.ActiveRepairJobs() > caps.MaxStreams {
+		errs = append(errs, fmt.Sprintf("repair: %d active repair jobs exceed MaxStreams %d",
+			m.ActiveRepairJobs(), caps.MaxStreams))
+	}
+	if lim := caps.MaxStreamsPerNode; lim > 0 {
+		for id, n := range m.NodeRepairStreams() {
+			if n > lim {
+				errs = append(errs, fmt.Sprintf("repair: node %d has %d inbound repair copies, cap %d", id, n, lim))
+			}
+		}
+	}
+	if n := m.CapViolations(); n != 0 {
+		errs = append(errs, fmt.Sprintf("repair: per-node cap tripwire fired %d times", n))
+	}
+	if s := m.ActiveRepairStreams(); s < 0 {
+		errs = append(errs, fmt.Sprintf("repair: active stream count %d went negative", s))
+	}
 	return errs
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"erms/internal/auditlog"
+	"erms/internal/chaos"
 	"erms/internal/core"
 	"erms/internal/experiments"
 	"erms/internal/hdfs"
@@ -267,4 +268,228 @@ func TestWatcherCatchesDataLoss(t *testing.T) {
 	if none := invariant.Check(invariant.Target{Cluster: c, AllowDataLoss: true}); len(none) != 0 {
 		t.Errorf("AllowDataLoss still reported: %v", none)
 	}
+}
+
+// TestDegradedStormSuite is the correlated-failure property suite: 25
+// seeds, each crossing a foreground workload with node-crash windows,
+// heartbeat flapping, silent corruption, and two zombie-primary drills in
+// the first half of the run, then a correlated whole-rack outage long
+// enough for the namenode to declare the rack dead — tripping safe mode —
+// followed by the power coming back. Heartbeats, safe mode, journal-epoch
+// fencing, and the throttled repair pipeline are all on, and every oracle
+// (including the safemode/epoch/repair-cap ones) is checked continuously.
+// The crash and outage windows are temporally disjoint by construction:
+// with two-rack placement a rack outage can take 2 of 3 replicas, so an
+// overlapping crash could legitimately kill the last copy, which is a
+// different (allowed-loss) experiment.
+func TestDegradedStormSuite(t *testing.T) {
+	var seeds []int64
+	if *stormSeed != 0 {
+		seeds = []int64{*stormSeed}
+	} else {
+		for s := int64(1); s <= 25; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	grid := sweep.Grid{Seeds: seeds}
+	points := grid.Points()
+	outcomes := make([]degradedOutcome, len(points))
+	tasks := make([]sweep.Task, len(points))
+	for i, p := range points {
+		i, p := i, p
+		tasks[i] = sweep.Task{
+			Name: grid.Label(p),
+			Run: func(ctx context.Context) (string, error) {
+				o, err := runDegradedStorm(p.Seed)
+				if err != nil {
+					return "", err
+				}
+				outcomes[i] = o
+				return fmt.Sprintf("seed=%d: %d sweeps, %d violations, safemode %d/%d, deferred %d, throttled %d, fenced %d\n",
+					p.Seed, o.checks, len(o.violations), o.safeModeEntries, o.safeModeExits,
+					o.deferred, o.throttled, o.fencedRejected), nil
+			},
+		}
+	}
+	results, err := sweep.Run(context.Background(), sweep.Options{}, tasks)
+	if err != nil {
+		t.Fatalf("degraded storm grid: %v", err)
+	}
+	t.Logf("degraded storm grid:\n%s", sweep.Merged(results))
+	for i, p := range points {
+		o := outcomes[i]
+		bad := false
+		fail := func(format string, args ...any) {
+			t.Errorf("seed %d: %s", p.Seed, fmt.Sprintf(format, args...))
+			bad = true
+		}
+		for _, v := range o.violations {
+			fail("%s", v)
+		}
+		if o.checks < 10 {
+			fail("watcher ran only %d sweeps", o.checks)
+		}
+		if o.safeModeEntries < 1 || o.safeModeExits < 1 {
+			fail("safe mode entered %d / exited %d times, want >= 1 each", o.safeModeEntries, o.safeModeExits)
+		}
+		if o.inSafeMode {
+			fail("still in safe mode at the horizon")
+		}
+		if o.deferred < 1 {
+			fail("no repairs were deferred during safe mode (deferred=%d)", o.deferred)
+		}
+		if o.throttled < 1 {
+			fail("no repairs were throttled by the stream cap (throttled=%d)", o.throttled)
+		}
+		if o.zombies != 2 {
+			fail("%d zombie-primary drills applied, want 2", o.zombies)
+		}
+		if o.fencedRejected != 2*o.zombies {
+			fail("%d fenced writes rejected, want %d (2 per zombie)", o.fencedRejected, 2*o.zombies)
+		}
+		if o.fencedApplied != 0 {
+			fail("%d fenced writes applied, want 0", o.fencedApplied)
+		}
+		if o.recoverableLost != 0 {
+			fail("%d recoverable blocks lost across failovers, want 0", o.recoverableLost)
+		}
+		if o.failoverErrs != 0 {
+			fail("%d failovers errored or diverged", o.failoverErrs)
+		}
+		if bad {
+			t.Logf("reproduce: go test ./internal/invariant/ -run TestDegradedStormSuite -storm-seed=%d -v", p.Seed)
+		}
+	}
+}
+
+type degradedOutcome struct {
+	checks          int
+	violations      []invariant.Violation
+	safeModeEntries int
+	safeModeExits   int
+	inSafeMode      bool
+	deferred        int
+	throttled       int
+	zombies         int
+	fencedRejected  int
+	fencedApplied   int
+	recoverableLost int
+	failoverErrs    int
+}
+
+// shiftPlan offsets every event of a plan by delta, so independently
+// generated storm phases can be composed on one timeline.
+func shiftPlan(p *chaos.Plan, delta time.Duration) *chaos.Plan {
+	out := &chaos.Plan{Events: make([]chaos.Event, len(p.Events))}
+	copy(out.Events, p.Events)
+	for i := range out.Events {
+		out.Events[i].At += delta
+	}
+	return out
+}
+
+// runDegradedStorm executes one seed of the degraded suite.
+func runDegradedStorm(seed int64) (degradedOutcome, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const nodes, racks = 18, 3
+	e := sim.NewEngine()
+	mk := func(e2 *sim.Engine) *hdfs.Cluster {
+		return hdfs.New(e2, hdfs.Config{Topology: topology.New(topology.Config{Racks: racks, NodeCount: nodes})})
+	}
+	c := hdfs.New(e, hdfs.Config{
+		Topology:  topology.New(topology.Config{Racks: racks, NodeCount: nodes}),
+		Heartbeat: hdfs.HeartbeatConfig{Enabled: true, DeadTimeout: 2 * time.Minute},
+		SafeMode:  hdfs.SafeModeConfig{Enabled: true, NodeThreshold: 0.75, Dwell: time.Minute},
+	})
+	c.SetJournal(auditlog.NewJournal())
+	m := core.New(c, core.Config{
+		Thresholds:  core.Thresholds{},
+		JudgePeriod: 2 * time.Minute,
+		Repair:      core.RepairConfig{MaxStreams: 4, MaxStreamsPerNode: 2},
+		Scrub:       hdfs.ScrubConfig{Period: time.Minute},
+	})
+	fo, err := chaos.NewFailover(chaos.FailoverConfig{
+		Engine: e, Cluster: c, NewStandby: mk, Interval: 5 * time.Minute,
+	})
+	if err != nil {
+		return degradedOutcome{}, fmt.Errorf("seed %d: failover: %w", seed, err)
+	}
+	w := invariant.Watch(e, 15*time.Second, invariant.Target{
+		Cluster: c, Manager: m,
+		MaxReplication: core.DefaultThresholds().MaxReplication,
+		CheckRestore:   true, NewShadow: mk,
+	})
+
+	// Workload: two-block files plus a read mix across the half hour.
+	const horizon = 30 * time.Minute
+	nFiles := 10 + rng.Intn(6)
+	paths := make([]string, 0, nFiles)
+	for i := 0; i < nFiles; i++ {
+		p := fmt.Sprintf("/deg/f%02d", i)
+		if _, cerr := c.CreateFile(p, 256*experiments.MB, 3, -1); cerr != nil {
+			return degradedOutcome{}, fmt.Errorf("seed %d: create %s: %w", seed, p, cerr)
+		}
+		paths = append(paths, p)
+	}
+	for i := 0; i < 80; i++ {
+		at := time.Duration(rng.Int63n(int64(horizon)))
+		p := paths[rng.Intn(len(paths))]
+		client := topology.NodeID(rng.Intn(nodes))
+		e.Schedule(at, func() {
+			if c.File(p) != nil {
+				c.ReadFile(client, p, nil)
+			}
+		})
+	}
+
+	// Phase 1 ([0, ~13m]): crashes shorter than the dead timeout, heartbeat
+	// flapping, silent corruption, and two zombie-primary drills.
+	var all []hdfs.DatanodeID
+	for _, d := range c.Datanodes() {
+		all = append(all, d.ID)
+	}
+	phase1 := chaos.Storm(chaos.StormConfig{
+		Seed: seed, Duration: 12 * time.Minute, Nodes: all,
+		Crashes: 3, Downtime: 90 * time.Second, MaxConcurrentDown: 1,
+		Corruptions: 2, FlapNodes: 2, ZombiePrimaries: 2,
+	})
+	// Phase 2 (from 18m, disjoint from every phase-1 window): one correlated
+	// rack outage lasting well past the dead timeout, then power-on.
+	phase2 := shiftPlan(chaos.Storm(chaos.StormConfig{
+		Seed: seed + 7919, Duration: time.Minute, Racks: []int{0, 1, 2},
+		RackOutages: 1, RackOutageFor: 4 * time.Minute,
+	}), 18*time.Minute)
+	plan := &chaos.Plan{
+		Events:   append(append([]chaos.Event{}, phase1.Events...), phase2.Events...),
+		Failover: fo,
+	}
+	rep := plan.Schedule(e, c)
+
+	e.RunUntil(horizon)
+	m.Stop()
+	fo.Stop()
+	w.Stop()
+
+	hm := c.Metrics()
+	st := m.Stats()
+	o := degradedOutcome{
+		checks:          w.Checks(),
+		violations:      w.Violations(),
+		safeModeEntries: hm.SafeModeEntries,
+		safeModeExits:   hm.SafeModeExits,
+		inSafeMode:      c.InSafeMode(),
+		deferred:        st.RepairsDeferred,
+		throttled:       st.RepairsThrottled,
+		zombies:         rep.PerKind["zombie-primary"],
+		fencedApplied:   hm.FencedWritesApplied,
+	}
+	for _, r := range fo.Results() {
+		o.recoverableLost += r.RecoverableLost
+		o.fencedRejected += r.FencedRejected
+		o.fencedApplied += r.FencedApplied
+		if r.Err != nil || !r.DigestMatch || !r.ConsistencyOK {
+			o.failoverErrs++
+		}
+	}
+	return o, nil
 }

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"erms/internal/sim"
+)
+
+// TestTokenBucketImmediateWithinBurst: a full bucket serves requests up to
+// the burst without advancing time.
+func TestTokenBucketImmediateWithinBurst(t *testing.T) {
+	e := sim.NewEngine()
+	tb := NewTokenBucket(e, 100, 1000)
+	fired := []int{}
+	tb.Take(400, func() { fired = append(fired, 1) })
+	tb.Take(600, func() { fired = append(fired, 2) })
+	e.RunFor(0)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("full bucket should serve both instantly in order, got %v", fired)
+	}
+	if tb.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", tb.Pending())
+	}
+}
+
+// TestTokenBucketRefillTiming: once drained, the next request proceeds at
+// exactly deficit/rate seconds of virtual time.
+func TestTokenBucketRefillTiming(t *testing.T) {
+	e := sim.NewEngine()
+	tb := NewTokenBucket(e, 100, 100) // 100 B/s, 100 B burst
+	tb.Take(100, nil)                 // drains the bucket at t=0
+	var at time.Duration = -1
+	tb.Take(50, func() { at = e.Now() })
+	e.RunFor(time.Second)
+	if at != 500*time.Millisecond {
+		t.Fatalf("50B at 100B/s from empty should fire at 500ms, got %v", at)
+	}
+}
+
+// TestTokenBucketFIFO: a small request queued behind a large one waits its
+// turn even though its own cost is already affordable.
+func TestTokenBucketFIFO(t *testing.T) {
+	e := sim.NewEngine()
+	tb := NewTokenBucket(e, 100, 100)
+	tb.Take(100, nil) // drain
+	var bigAt, smallAt time.Duration = -1, -1
+	tb.Take(100, func() { bigAt = e.Now() })
+	tb.Take(1, func() { smallAt = e.Now() })
+	e.RunFor(2 * time.Second)
+	if bigAt < 0 || smallAt < 0 {
+		t.Fatalf("waiters never fired: big=%v small=%v", bigAt, smallAt)
+	}
+	if smallAt < bigAt {
+		t.Fatalf("FIFO violated: small fired at %v before big at %v", smallAt, bigAt)
+	}
+}
+
+// TestTokenBucketClampsOversizedRequests: a request larger than the burst
+// drains the bucket rather than waiting forever.
+func TestTokenBucketClampsOversizedRequests(t *testing.T) {
+	e := sim.NewEngine()
+	tb := NewTokenBucket(e, 100, 100)
+	done := false
+	tb.Take(1e9, func() { done = true })
+	e.RunFor(time.Second)
+	if !done {
+		t.Fatal("oversized request should be clamped to burst and proceed")
+	}
+}
+
+// TestTokenBucketDeterminism: two identical schedules drain with identical
+// timestamps.
+func TestTokenBucketDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		e := sim.NewEngine()
+		tb := NewTokenBucket(e, 64, 128)
+		var stamps []time.Duration
+		for i := 0; i < 10; i++ {
+			tb.Take(40, func() { stamps = append(stamps, e.Now()) })
+		}
+		e.RunFor(10 * time.Second)
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("not all waiters fired: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at waiter %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
