@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test race check bench bench-accept benchdiff lint cover cover-check \
-	figures fuzz failover full-scale soak sweep degrade runtime-table examples clean
+	figures fuzz failover full-scale soak sweep degrade scenarios runtime-table examples clean
 
 all: build vet test
 
@@ -20,14 +20,22 @@ race:
 	$(GO) test -race ./...
 
 # The full gate: what CI runs and what a PR must keep green.
-check: build vet test race soak sweep degrade
+check: build vet test race soak sweep degrade scenarios
 
-# Cross-core determinism gate: the same threshold grid at -parallel 1 and
-# -parallel 8 must merge to byte-identical output, proven under the race
-# detector (see internal/sweep and DESIGN.md §11).
+# Cross-core determinism gate: the same threshold grid — and the scenario
+# grid — at -parallel 1 and -parallel 8 must merge to byte-identical
+# output, proven under the race detector (see internal/sweep and DESIGN.md).
 sweep:
-	$(GO) test -race -run 'TestThresholdSweepWorkerInvariance|TestWorkerCountInvariance' \
+	$(GO) test -race -run 'TestThresholdSweepWorkerInvariance|TestWorkerCountInvariance|TestScenarioWorkerInvariance' \
 		./internal/experiments/ ./internal/sweep/
+
+# Scenario gate: the production-shaped workload suite (multi-tenant,
+# diurnal, flash crowd, partial reads), the hdfs ranged-read path, the
+# judge's block-level boundary tests, and the tenant-isolation/reaction
+# oracles — all under the race detector (see DESIGN.md §14).
+scenarios:
+	$(GO) test -race -run 'TestScenario|TestReadRange|TestJudgeRanged|TestShrink|TestJainFairness' \
+		./internal/workload/ ./internal/experiments/ ./internal/hdfs/ ./internal/core/ ./internal/invariant/
 
 # Degradation gate: the degrade study (rack outage vs repair throttling,
 # EXPERIMENTS.md) must be deterministic and keep its shape — throttled

@@ -17,6 +17,7 @@
 //
 //	benchdiff                                # BENCH_cep.json vs BENCH_cep.new.json
 //	benchdiff -baseline old.json -new new.json -threshold 0.1
+//	benchdiff -markdown >> "$GITHUB_STEP_SUMMARY"   # delta table, never gates
 package main
 
 import (
@@ -106,6 +107,8 @@ type verdict struct {
 	Name   string
 	Reason string // empty = pass
 	Delta  float64
+	BaseNs float64 // 0 when the benchmark is new
+	NewNs  float64 // 0 when the benchmark vanished
 }
 
 // diff compares fresh against base and returns per-benchmark verdicts
@@ -122,11 +125,11 @@ func diff(base, fresh map[string]result, threshold float64, hot *regexp.Regexp) 
 		b := base[n]
 		f, ok := fresh[n]
 		if !ok {
-			rows = append(rows, verdict{Name: n, Reason: "missing from new run (not failing)"})
+			rows = append(rows, verdict{Name: n, Reason: "missing from new run (not failing)", BaseNs: b.NsPerOp})
 			continue
 		}
 		delta := f.NsPerOp/b.NsPerOp - 1
-		v := verdict{Name: n, Delta: delta}
+		v := verdict{Name: n, Delta: delta, BaseNs: b.NsPerOp, NewNs: f.NsPerOp}
 		switch {
 		case delta > threshold:
 			v.Reason = fmt.Sprintf("ns/op regressed %.1f%% (%.1f -> %.1f, threshold %.0f%%)",
@@ -147,9 +150,42 @@ func diff(base, fresh map[string]result, threshold float64, hot *regexp.Regexp) 
 	}
 	sort.Strings(extra)
 	for _, n := range extra {
-		rows = append(rows, verdict{Name: n, Reason: "new benchmark, no baseline (not failing)"})
+		rows = append(rows, verdict{Name: n, Reason: "new benchmark, no baseline (not failing)",
+			NewNs: fresh[n].NsPerOp})
 	}
 	return rows, failed
+}
+
+// markdownTable renders the verdicts as the GitHub-flavored table CI
+// appends to the job's step summary.
+func markdownTable(rows []verdict, failed bool) string {
+	var b strings.Builder
+	b.WriteString("### Benchmark delta (baseline vs this run)\n\n")
+	b.WriteString("| benchmark | base ns/op | new ns/op | delta | status |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	ns := func(v float64) string {
+		if v == 0 {
+			return "—"
+		}
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+	for _, r := range rows {
+		status, delta := "ok", fmt.Sprintf("%+.1f%%", r.Delta*100)
+		if r.Reason != "" {
+			if strings.Contains(r.Reason, "not failing") {
+				status, delta = r.Reason, "—"
+			} else {
+				status = "**FAIL** " + r.Reason
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n", r.Name, ns(r.BaseNs), ns(r.NewNs), delta, status)
+	}
+	if failed {
+		b.WriteString("\n**benchmark gate failed**\n")
+	} else {
+		b.WriteString("\nbenchmark gate passed\n")
+	}
+	return b.String()
 }
 
 func main() {
@@ -161,6 +197,8 @@ func main() {
 		threshold = flag.Float64("threshold", 0.20, "max tolerated ns/op slowdown (fraction)")
 		hotExpr   = flag.String("hot", "JudgePass|AuditIngest|Insert|Rows|EachRow",
 			"benchmarks where any allocs/op increase fails")
+		markdown = flag.Bool("markdown", false,
+			"emit a GitHub-flavored Markdown delta table (for $GITHUB_STEP_SUMMARY) and always exit 0")
 	)
 	flag.Parse()
 	hot, err := regexp.Compile(*hotExpr)
@@ -183,6 +221,12 @@ func main() {
 		return m
 	}
 	rows, failed := diff(load(*baseline), load(*fresh), *threshold, hot)
+	if *markdown {
+		// The summary renderer never gates: the plain run right before it
+		// already decided pass/fail, this output is for human eyes.
+		fmt.Print(markdownTable(rows, failed))
+		return
+	}
 	for _, r := range rows {
 		status := fmt.Sprintf("ok   %+6.1f%%", r.Delta*100)
 		if r.Reason != "" {

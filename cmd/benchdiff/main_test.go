@@ -86,6 +86,29 @@ func TestHotPathAllocIncreaseFails(t *testing.T) {
 	}
 }
 
+func TestMarkdownTable(t *testing.T) {
+	base := parse(t, line("BenchmarkJudgePass", 50000, 153), line("BenchmarkGone", 100, 0))
+	fresh := parse(t, line("BenchmarkJudgePass", 100000, 153), line("BenchmarkAdded", 100, 0))
+	rows, failed := diff(base, fresh, 0.20, hotRe)
+	got := markdownTable(rows, failed)
+	for _, want := range []string{
+		"| benchmark | base ns/op | new ns/op | delta | status |",
+		"| BenchmarkJudgePass | 50000.0 | 100000.0 | +100.0% | **FAIL**",
+		"| BenchmarkGone | 100.0 | — | — | missing from new run (not failing) |",
+		"| BenchmarkAdded | — | 100.0 | — | new benchmark, no baseline (not failing) |",
+		"**benchmark gate failed**",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown table missing %q:\n%s", want, got)
+		}
+	}
+	if rows, ok := diff(base, base, 0.20, hotRe); ok {
+		t.Fatalf("identical runs failed: %+v", rows)
+	} else if got := markdownTable(rows, false); !strings.Contains(got, "benchmark gate passed") {
+		t.Errorf("pass footer missing:\n%s", got)
+	}
+}
+
 func TestMissingAndNewBenchmarksDoNotFail(t *testing.T) {
 	base := parse(t, line("BenchmarkJudgePass", 50000, 153), line("BenchmarkGone", 100, 0))
 	fresh := parse(t, line("BenchmarkJudgePass", 50000, 153), line("BenchmarkAdded", 100, 0))

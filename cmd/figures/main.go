@@ -15,6 +15,7 @@
 //	figures -fig all -parallel 1    # same bytes, one core
 //	figures -fig 3a -full           # one figure at paper scale
 //	figures -fig sweep              # judge threshold grid -> winner table
+//	figures -fig scenarios          # production-shaped scenario suite, vanilla vs ERMS
 //	figures -fig 8 -seed 7
 //	figures -runtime-table          # serial-vs-parallel Markdown table
 package main
@@ -273,6 +274,23 @@ func buildTasks(fig string, o figOpts) (tasks []sweep.Task, notes []string) {
 		notes = append(notes,
 			"scale: skipped (single core; the 1,000-datanode / 1M-file point would dominate — run with -fig scale)")
 	}
+	if want("scenarios") {
+		cfg := experiments.ScenarioConfig{Seed: o.seed, Parallel: o.parallel}
+		if o.full {
+			cfg.Duration = 2 * time.Hour
+		}
+		tasks = append(tasks, task("scenarios", func() (string, error) {
+			rows, results, err := experiments.Scenarios(context.Background(), cfg)
+			if err != nil {
+				return "", err
+			}
+			out := sprintln(experiments.ScenarioTable(cfg, rows))
+			if o.timing {
+				out += sprintln(sweep.TimingTable(results))
+			}
+			return out, nil
+		}))
+	}
 	if want("trace") {
 		tasks = append(tasks, task("trace", func() (string, error) {
 			res := experiments.TraceDemo()
@@ -291,7 +309,7 @@ func buildTasks(fig string, o figOpts) (tasks []sweep.Task, notes []string) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, failover, durability, degrade, sweep, trace, scale, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 4, 5, 6, 7, 8, 9, ablations, reliability, failover, durability, degrade, sweep, scenarios, trace, scale, all")
 	seed := flag.Int64("seed", 1, "workload seed")
 	full := flag.Bool("full", false, "paper-scale runs (slower) instead of quick scale")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the series figures (4, 5)")

@@ -25,7 +25,11 @@ type Command string
 // The audited commands ERMS cares about. Open dominates: the Data Judge
 // counts concurrent read accesses.
 const (
-	CmdOpen        Command = "open"
+	CmdOpen Command = "open"
+	// CmdPread records a byte-ranged (positioned) read: the client touched
+	// only part of the file, so the Data Judge must not count it as a
+	// whole-file open — per-block heat comes from the block-read stream.
+	CmdPread       Command = "pread"
 	CmdCreate      Command = "create"
 	CmdDelete      Command = "delete"
 	CmdRename      Command = "rename"

@@ -149,7 +149,10 @@ func NewJudge(cluster *hdfs.Cluster, th Thresholds) *Judge {
 
 	// The paper's log parser: audit records become CEP events.
 	cluster.Audit().Subscribe(func(r auditlog.Record) {
-		if r.Cmd == auditlog.CmdOpen && r.Allowed {
+		if (r.Cmd == auditlog.CmdOpen || r.Cmd == auditlog.CmdPread) && r.Allowed {
+			// Preads keep a file warm (formula 6 must not encode a file that
+			// serves ranged reads) but do NOT enter the formula-(1) open
+			// count — the fileStmt query filters cmd='open'.
 			j.lastAccess[r.Src] = r.Time
 		}
 		// Namespace changes migrate or drop the judge's per-file state so a

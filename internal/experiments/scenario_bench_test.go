@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"erms/internal/hdfs"
+	"erms/internal/sim"
+	"erms/internal/topology"
+	"erms/internal/workload"
+)
+
+// BenchmarkScenarioTenantMix pins the cost of synthesizing the multi-tenant
+// Zipf trace — the generator every scenario cell, storm backdrop, and CSV
+// export pays before the simulation starts.
+func BenchmarkScenarioTenantMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := workload.SynthesizeMultiTenant(workload.TenantConfig{Seed: 1, Duration: 30 * time.Minute})
+		if len(tr.Jobs) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkScenarioRangedRead pins the pread hot path: range→block
+// mapping, partial flow streaming, per-block accounting, and the audit
+// fan-out. Each op is the same deterministic batch of 200 ranged reads —
+// the rng reseeds per iteration — so every measurement does identical
+// virtual work regardless of b.N.
+func BenchmarkScenarioRangedRead(b *testing.B) {
+	e := sim.NewEngine()
+	topo := topology.New(topology.Config{Racks: 3, NodeCount: 18})
+	c := hdfs.New(e, hdfs.Config{Topology: topo})
+	if _, err := c.CreateFile("/bench/shard", GB, 3, -1); err != nil {
+		b.Fatal(err)
+	}
+	size := GB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := sim.NewRand(1)
+		for k := 0; k < 200; k++ {
+			off := float64(rng.Intn(60)) * 16 * MB
+			if off >= size {
+				off = 0
+			}
+			c.ReadRange(topology.NodeID(rng.Intn(18)), "/bench/shard", off, 16*MB, nil)
+		}
+		e.Run()
+	}
+}

@@ -20,12 +20,14 @@ import (
 // value.
 //
 // The default grid sweeps τ_M × window — the two knobs with a real
-// gradient under this workload. M_M and ε are sweepable too, but inert by
-// default and at default size: every workload in this repo reads whole
-// files, so per-block access counts track per-file counts and the
-// block-level hot rules (Formulas 2–3) fire exactly when the file-level
-// rule (Formula 1) does. Sweep them against a partial-read workload if
-// one is ever added.
+// gradient under this workload. M_M and ε are sweepable too, but under
+// the default whole-file trace per-block access counts track per-file
+// counts, so the block-level hot rules (Formulas 2–3) fire exactly when
+// the file-level rule (Formula 1) does and those axes have no independent
+// gradient here. The partial-read scenario (workload.SynthesizeScenario
+// "partial", DESIGN.md §14) is what drives them independently — its
+// ranged reads audit as pread, invisible to Formula (1), while the block
+// events still feed (2) and (3).
 type ThresholdSweepConfig struct {
 	Seeds      []int64       // workload seeds (default {1})
 	Duration   time.Duration // trace length per cell (default 30 min)

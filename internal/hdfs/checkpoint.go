@@ -707,6 +707,7 @@ func (c *Cluster) commitCheckpoint(st *ckptState) {
 	c.ckptJournalSeq = st.journalSeq
 	c.blocks = make([]*Block, st.nextBlock)
 	c.replicas = st.replicas
+	c.readCounts = make([]int64, st.nextBlock)
 	c.liveBlocks = 0
 	c.files = st.files
 	c.fileByID = st.fileByID

@@ -290,19 +290,26 @@ func (c *Config) applyDefaults() {
 
 // Metrics aggregates cluster-wide counters.
 type Metrics struct {
-	ReadsStarted    int
-	ReadsCompleted  int
-	ReadsFailed     int
-	BytesRead       float64
-	BlockReads      int
-	NodeLocalReads  int // block reads served from the client's node
-	RackLocalReads  int // served from the client's rack
-	RemoteReads     int // served across racks
-	ReplicasAdded   int
-	ReplicasRemoved int
-	ReplicationMB   float64 // bytes moved by replication, in MB
-	FilesEncoded    int
-	BlocksRebuilt   int
+	ReadsStarted   int
+	ReadsCompleted int
+	ReadsFailed    int
+	BytesRead      float64
+	BlockReads     int
+	NodeLocalReads int // block reads served from the client's node
+	RackLocalReads int // served from the client's rack
+	RemoteReads    int // served across racks
+	// Ranged-read accounting (ReadRange). Ranged reads also count in the
+	// Reads*/BlockReads totals above; these split out the partial-read
+	// traffic. Transient stats, like the safe-mode counters: not
+	// checkpointed.
+	RangedReads       int     // ReadRange calls started
+	PartialBlockReads int     // block reads that streamed less than the block
+	RangedBytesRead   float64 // bytes served to ranged readers
+	ReplicasAdded     int
+	ReplicasRemoved   int
+	ReplicationMB     float64 // bytes moved by replication, in MB
+	FilesEncoded      int
+	BlocksRebuilt     int
 	// Failure-model counters (heartbeat + scrubber).
 	StaleTransitions int     // nodes that crossed the stale threshold
 	ReplicasScrubbed int     // replicas the background scrubber verified
@@ -328,6 +335,9 @@ type BlockReadEvent struct {
 	Block    BlockID
 	Datanode DatanodeID
 	Client   topology.NodeID
+	// Bytes is how much of the block this read streams — less than the
+	// block size for ranged (partial) reads.
+	Bytes float64
 }
 
 // Cluster is the simulated HDFS deployment: namenode state plus datanodes.
@@ -348,6 +358,12 @@ type Cluster struct {
 	liveBlocks int
 	datanodes  []*Datanode
 	nextBlock  BlockID
+
+	// readCounts is the per-block read tally (dense, indexed by BlockID,
+	// grown with the block map). Partial reads count like whole ones: the
+	// tally is access heat, not byte volume. Transient stats — reset by
+	// restore, never checkpointed.
+	readCounts []int64
 
 	// underSet holds the blocks currently below their replication target,
 	// maintained incrementally at every replica/target mutation so
@@ -493,6 +509,9 @@ func (c *Cluster) RegisterMetrics(r *metrics.Registry) {
 	r.GaugeFunc("hdfs_node_local_reads_total", func() float64 { return float64(m.NodeLocalReads) })
 	r.GaugeFunc("hdfs_rack_local_reads_total", func() float64 { return float64(m.RackLocalReads) })
 	r.GaugeFunc("hdfs_remote_reads_total", func() float64 { return float64(m.RemoteReads) })
+	r.GaugeFunc("hdfs_ranged_reads_total", func() float64 { return float64(m.RangedReads) })
+	r.GaugeFunc("hdfs_partial_block_reads_total", func() float64 { return float64(m.PartialBlockReads) })
+	r.GaugeFunc("hdfs_ranged_bytes_read_total", func() float64 { return m.RangedBytesRead })
 	r.GaugeFunc("hdfs_replicas_added_total", func() float64 { return float64(m.ReplicasAdded) })
 	r.GaugeFunc("hdfs_replicas_removed_total", func() float64 { return float64(m.ReplicasRemoved) })
 	r.GaugeFunc("hdfs_replication_mb_total", func() float64 { return m.ReplicationMB })
@@ -591,6 +610,30 @@ func (c *Cluster) Replicas(id BlockID) []DatanodeID {
 // LiveBlocks returns the number of blocks currently in the block map.
 func (c *Cluster) LiveBlocks() int { return c.liveBlocks }
 
+// BlockReadCount returns how many reads block id has served since the
+// cluster (or its restore) started — ranged reads count like whole-block
+// ones. Zero for unknown or deleted blocks.
+func (c *Cluster) BlockReadCount(id BlockID) int64 {
+	if id < 0 || int(id) >= len(c.readCounts) {
+		return 0
+	}
+	return c.readCounts[id]
+}
+
+// FileBlockReads sums the per-block read tallies of a file's data blocks —
+// the read-accounting view the partial-read scenarios assert against.
+func (c *Cluster) FileBlockReads(path string) int64 {
+	f := c.files[path]
+	if f == nil {
+		return 0
+	}
+	var sum int64
+	for _, bid := range f.Blocks {
+		sum += c.BlockReadCount(bid)
+	}
+	return sum
+}
+
 // fileOf resolves a block's owning file through the interned file table
 // (nil once the file is deleted).
 func (c *Cluster) fileOf(b *Block) *INode {
@@ -619,6 +662,7 @@ func (c *Cluster) addBlock(b *Block) {
 	c.nextBlock++
 	c.blocks = append(c.blocks, b)
 	c.replicas = append(c.replicas, nil)
+	c.readCounts = append(c.readCounts, 0)
 	c.liveBlocks++
 	c.reassessBlock(b)
 	c.jlog(auditlog.Entry{Op: auditlog.OpBlockAdd, Block: int64(b.ID), File: b.fileID,
@@ -632,6 +676,7 @@ func (c *Cluster) dropBlock(id BlockID) {
 	}
 	c.blocks[id] = nil
 	c.replicas[id] = nil
+	c.readCounts[id] = 0
 	c.liveBlocks--
 	delete(c.underSet, id)
 	c.jlog(auditlog.Entry{Op: auditlog.OpBlockDrop, Block: int64(id)})

@@ -178,19 +178,55 @@ func (p *DefaultPolicy) ChooseTargets(c *Cluster, b *Block, count int, writer Da
 	return chosen
 }
 
-// ChooseExcess implements Policy: drop from the node holding the most
-// blocks (load shedding), deterministic tie-break by ID.
+// ChooseExcess implements Policy: pick the replica whose loss costs the
+// least. Corrupt replicas go first, then replicas on nodes that are not
+// currently serving (crashed or partitioned but not yet declared dead),
+// then clean replicas in racks that still hold another clean copy — so a
+// shrink never collapses a block into a single rack, or worse, keeps only
+// unreadable copies, while healthy ones exist. Within a class the node
+// holding the most blocks loses (load shedding), tie-break by ID, so the
+// choice stays deterministic.
 func (p *DefaultPolicy) ChooseExcess(c *Cluster, b *Block) (DatanodeID, bool) {
 	reps := c.replicas[b.ID]
 	if len(reps) == 0 {
 		return 0, false
 	}
-	best := reps[0]
+	// A replica is readable only from a serving, un-crashed, non-stale,
+	// reachable node holding a clean copy.
+	readable := func(id DatanodeID) bool {
+		d := c.datanodes[id]
+		return !d.CorruptBlock(b.ID) && d.State.serves() && !d.crashed &&
+			!d.Stale && !c.NodeUnreachable(id)
+	}
+	// Racks counted over clean, reachable replicas only: a rack whose other
+	// copy is corrupt does not really hold a second copy.
+	rackHealthy := map[int]int{}
+	for _, r := range reps {
+		if readable(r) {
+			rackHealthy[c.topo.Rack(topology.NodeID(r))]++
+		}
+	}
+	class := func(id DatanodeID) int {
+		switch {
+		case c.datanodes[id].CorruptBlock(b.ID):
+			return 3
+		case !readable(id):
+			return 2
+		case rackHealthy[c.topo.Rack(topology.NodeID(id))] >= 2:
+			return 1
+		}
+		return 0
+	}
+	best, bestClass := reps[0], class(reps[0])
 	for _, r := range reps[1:] {
+		cl := class(r)
+		if cl < bestClass {
+			continue
+		}
 		db, dr := c.datanodes[best], c.datanodes[r]
-		if dr.NumBlocks() > db.NumBlocks() ||
+		if cl > bestClass || dr.NumBlocks() > db.NumBlocks() ||
 			(dr.NumBlocks() == db.NumBlocks() && r > best) {
-			best = r
+			best, bestClass = r, cl
 		}
 	}
 	return best, true

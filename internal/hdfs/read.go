@@ -46,6 +46,10 @@ type ReadResult struct {
 	NodeLocal int // block reads served node-locally
 	RackLocal int
 	Remote    int
+	// Offset/Length describe the requested byte range for ReadRange
+	// results (Length 0 means a whole-file read).
+	Offset float64
+	Length float64
 }
 
 // Duration returns the wall (virtual) time the read took.
@@ -121,7 +125,7 @@ func (c *Cluster) ReadFileAt(client topology.NodeID, path string, start int, don
 			return
 		}
 		prev := c.tracer.Push(span)
-		c.readBlock(client, blocks[i], 0, func(bytes float64, loc Locality, err error) {
+		c.readBlock(client, blocks[i], 0, 0, func(bytes float64, loc Locality, err error) {
 			if err != nil {
 				res.Err = err
 				res.End = c.engine.Now()
@@ -153,7 +157,134 @@ func (c *Cluster) ReadFileAt(client topology.NodeID, path string, start int, don
 // ReadBlock reads a single block to the client node (used by MapReduce map
 // tasks, which read exactly one block).
 func (c *Cluster) ReadBlock(client topology.NodeID, id BlockID, done func(bytes float64, loc Locality, err error)) {
-	c.readBlock(client, id, 0, done)
+	c.readBlock(client, id, 0, 0, done)
+}
+
+// ReadRange streams the byte range [offset, offset+length) of path to the
+// client — the positioned-read (pread) path real HDFS clients use for index
+// lookups and columnar scans. Only the blocks covering the range are read,
+// and each covered block streams only the overlapping bytes, so a ranged
+// read of a block's head costs a fraction of a whole-block transfer. The
+// audit log records cmd=pread, not open: the Data Judge's file-level count
+// (formula 1) sees nothing, while the per-block read stream still feeds the
+// block-level axes (formulas 2–3). length <= 0 means "to end of file";
+// the range is clamped to the file size.
+func (c *Cluster) ReadRange(client topology.NodeID, path string, offset, length float64, done func(*ReadResult)) {
+	f := c.files[path]
+	res := &ReadResult{Path: path, Client: client, Start: c.engine.Now(), Offset: offset, Length: length}
+	fail := func(err error) {
+		res.Err = err
+		res.End = c.engine.Now()
+		if done != nil {
+			done(res)
+		}
+	}
+	if f == nil {
+		c.audit.Append(auditlog.Record{
+			Time: c.engine.Now(), Allowed: false, UGI: "hadoop",
+			IP: c.clientIP(client), Cmd: auditlog.CmdPread, Src: path,
+		})
+		fail(fmt.Errorf("hdfs: no such file %q", path))
+		return
+	}
+	if offset < 0 || offset >= f.Size {
+		c.audit.Append(auditlog.Record{
+			Time: c.engine.Now(), Allowed: false, UGI: "hadoop",
+			IP: c.clientIP(client), Cmd: auditlog.CmdPread, Src: path,
+		})
+		fail(fmt.Errorf("hdfs: pread offset %.0f out of range for %q (size %.0f)", offset, path, f.Size))
+		return
+	}
+	end := f.Size
+	if length > 0 && offset+length < end {
+		end = offset + length
+	}
+	res.Length = end - offset
+	// Map the byte range onto the covering blocks: walk the block list
+	// accumulating sizes and record how many bytes of each block overlap.
+	type span struct {
+		id    BlockID
+		bytes float64
+	}
+	var spans []span
+	pos := 0.0
+	for _, id := range f.Blocks {
+		b := c.Block(id)
+		if b == nil {
+			continue
+		}
+		lo, hi := pos, pos+b.Size
+		pos = hi
+		if hi <= offset {
+			continue
+		}
+		if lo >= end {
+			break
+		}
+		from, to := lo, hi
+		if offset > from {
+			from = offset
+		}
+		if end < to {
+			to = end
+		}
+		if to > from {
+			spans = append(spans, span{id, to - from})
+		}
+	}
+	sp := c.tracer.Begin("hdfs.pread", c.tracer.Current())
+	c.tracer.SetAttr(sp, "path", path)
+	c.tracer.SetAttrInt(sp, "offset", int64(offset))
+	c.tracer.SetAttrInt(sp, "length", int64(res.Length))
+	c.audit.Append(auditlog.Record{
+		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		IP: c.clientIP(client), Cmd: auditlog.CmdPread, Src: path,
+	})
+	c.metrics.ReadsStarted++
+	c.metrics.RangedReads++
+	c.activeReads++
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(spans) {
+			res.End = c.engine.Now()
+			c.activeReads--
+			c.metrics.ReadsCompleted++
+			c.metrics.BytesRead += res.Bytes
+			c.metrics.RangedBytesRead += res.Bytes
+			c.tracer.End(sp)
+			if done != nil {
+				done(res)
+			}
+			return
+		}
+		prev := c.tracer.Push(sp)
+		c.readBlock(client, spans[i].id, spans[i].bytes, 0, func(bytes float64, loc Locality, err error) {
+			if err != nil {
+				res.Err = err
+				res.End = c.engine.Now()
+				c.activeReads--
+				c.metrics.ReadsFailed++
+				c.tracer.SetAttr(sp, "error", "pread failed")
+				c.tracer.End(sp)
+				if done != nil {
+					done(res)
+				}
+				return
+			}
+			res.Bytes += bytes
+			switch loc {
+			case NodeLocal:
+				res.NodeLocal++
+			case RackLocal:
+				res.RackLocal++
+			default:
+				res.Remote++
+			}
+			step(i + 1)
+		})
+		c.tracer.Pop(prev)
+	}
+	step(0)
 }
 
 // Transfer streams raw bytes from src to dst over the fabric — shuffle
@@ -223,7 +354,12 @@ func (c *Cluster) selectReplica(client topology.NodeID, id BlockID, exclude map[
 	return best, loc, true
 }
 
-func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, done func(float64, Locality, error)) {
+// readBlock streams a block (or, when 0 < amount < block size, just a slice
+// of it) from the best replica to the client. amount <= 0 means the whole
+// block. Every call — partial or not — counts one block read: session
+// admission, locality accounting, and the BlockReadEvent fan-out are
+// per-read, matching how a datanode serves a pread.
+func (c *Cluster) readBlock(client topology.NodeID, id BlockID, amount float64, attempt int, done func(float64, Locality, error)) {
 	sp := c.tracer.Begin("hdfs.block_read", c.tracer.Current())
 	c.tracer.SetAttrInt(sp, "block", int64(id))
 	if attempt > 0 {
@@ -250,11 +386,21 @@ func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, don
 			done(0, loc, fmt.Errorf("hdfs: read of block %d failed after %d attempts", id, attempt+1))
 			return
 		}
-		c.readBlock(client, id, attempt+1, done)
+		c.readBlock(client, id, amount, attempt+1, done)
+	}
+	stream := b.Size
+	if amount > 0 && amount < b.Size {
+		stream = amount
 	}
 	c.admit(d, func() {
-		// Session granted; stream the block.
+		// Session granted; stream the block (or the requested slice of it).
 		c.metrics.BlockReads++
+		if stream < b.Size {
+			c.metrics.PartialBlockReads++
+		}
+		if int(id) < len(c.readCounts) {
+			c.readCounts[id]++
+		}
 		switch loc {
 		case NodeLocal:
 			c.metrics.NodeLocalReads++
@@ -265,6 +411,7 @@ func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, don
 		}
 		ev := BlockReadEvent{
 			Time: c.engine.Now(), Path: b.File, Block: id, Datanode: src, Client: client,
+			Bytes: stream,
 		}
 		for _, fn := range c.onBlockRead {
 			fn(ev)
@@ -276,7 +423,7 @@ func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, don
 			path = c.topo.ReadPath(topology.NodeID(src), client)
 		}
 		prev := c.tracer.Push(sp)
-		flow := c.fabric.StartFlow(path, b.Size, 0, func(f *netsim.Flow) {
+		flow := c.fabric.StartFlow(path, stream, 0, func(f *netsim.Flow) {
 			delete(d.activeFlows, f)
 			c.release(d)
 			// Client-side checksum: a corrupt replica streams fine but
@@ -291,7 +438,7 @@ func (c *Cluster) readBlock(client topology.NodeID, id BlockID, attempt int, don
 				return
 			}
 			c.tracer.End(sp)
-			done(b.Size, loc, nil)
+			done(stream, loc, nil)
 		})
 		c.tracer.Pop(prev)
 		// Register an abort handler so that if the serving node dies the

@@ -1,0 +1,81 @@
+package invariant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"erms/internal/hdfs"
+	"erms/internal/workload"
+)
+
+var errFake = errors.New("fake read failure")
+
+func TestScenarioTenantIsolationCheck(t *testing.T) {
+	ti := NewTenantIsolation()
+	ok := &hdfs.ReadResult{Bytes: 100}
+	bad := &hdfs.ReadResult{Err: errFake}
+	for i := 0; i < 10; i++ {
+		js := workload.JobSpec{Tenant: "ads"}
+		ti.ObserveSubmit(js)
+		ti.ObserveDone(js, ok)
+	}
+	for i := 0; i < 10; i++ {
+		js := workload.JobSpec{Tenant: "batch"}
+		ti.ObserveSubmit(js)
+		if i < 3 {
+			ti.ObserveDone(js, ok)
+		} else {
+			ti.ObserveDone(js, bad)
+		}
+	}
+	if v := ti.Check(0.3); len(v) != 0 {
+		t.Fatalf("30%% floor should pass: %v", v)
+	}
+	v := ti.Check(0.9)
+	if len(v) != 1 || !strings.Contains(v[0], "batch") {
+		t.Fatalf("90%% floor should flag batch only: %v", v)
+	}
+	// Untenanted jobs are ignored entirely.
+	ti.ObserveSubmit(workload.JobSpec{})
+	ti.ObserveDone(workload.JobSpec{}, ok)
+	if v := ti.Check(0.3); len(v) != 0 {
+		t.Fatalf("untenanted job leaked into the check: %v", v)
+	}
+	if f := ti.Fairness(); f <= 0 || f > 1 {
+		t.Fatalf("fairness out of range: %v", f)
+	}
+}
+
+func TestScenarioTenantStarvation(t *testing.T) {
+	ti := NewTenantIsolation()
+	ti.ObserveSubmit(workload.JobSpec{Tenant: "etl"})
+	v := ti.Check(0.1)
+	if len(v) != 1 || !strings.Contains(v[0], "none resolved") {
+		t.Fatalf("unresolved tenant should be a violation: %v", v)
+	}
+}
+
+func TestScenarioReaction(t *testing.T) {
+	var rx Reaction
+	if v := rx.Check(time.Minute); len(v) != 1 || !strings.Contains(v[0], "never read") {
+		t.Fatalf("no reads: %v", v)
+	}
+	rx.ObserveRead(10 * time.Second)
+	rx.ObserveRead(12 * time.Second) // later reads must not move FirstRead
+	if v := rx.Check(time.Minute); len(v) != 1 || !strings.Contains(v[0], "never added") {
+		t.Fatalf("no replica add: %v", v)
+	}
+	rx.ObserveReplicaAdd(40 * time.Second)
+	rx.ObserveReplicaAdd(50 * time.Second) // later adds must not move the mark
+	if !rx.Reacted() || rx.Time() != 30*time.Second {
+		t.Fatalf("reaction time = %v, want 30s", rx.Time())
+	}
+	if v := rx.Check(time.Minute); len(v) != 0 {
+		t.Fatalf("30s within 1m budget: %v", v)
+	}
+	if v := rx.Check(20 * time.Second); len(v) != 1 || !strings.Contains(v[0], "budget") {
+		t.Fatalf("30s past 20s budget should flag: %v", v)
+	}
+}

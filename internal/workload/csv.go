@@ -20,6 +20,14 @@ import (
 //	JOBS
 //	name,submit_s,file,client,compute_ms_per_mb
 //	job0001,12.5,/data/f000,3,8
+//
+// Scenario traces (tenant tags or ranged reads) extend JOBS rows with three
+// more columns — tenant,offset_mb,length_mb — and the decoder accepts either
+// width, so plain SWIM-style traces stay readable by old tooling:
+//
+//	JOBS
+//	name,submit_s,file,client,compute_ms_per_mb,tenant,offset_mb,length_mb
+//	job0001,12.5,/data/f000,3,8,ads,64,16
 
 // WriteCSV serializes the trace in the sectioned CSV layout.
 func (t *Trace) WriteCSV(w io.Writer) error {
@@ -37,13 +45,32 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			strconv.Itoa(f.Rank))
 	}
 	write("JOBS")
-	write("name", "submit_s", "file", "client", "compute_ms_per_mb")
+	// Scenario fields widen every row (uniform width keeps spreadsheets
+	// sane); plain traces keep the classic 5-column layout.
+	scenario := false
 	for _, j := range t.Jobs {
-		write(j.Name,
+		if j.Tenant != "" || j.Offset != 0 || j.Length != 0 {
+			scenario = true
+			break
+		}
+	}
+	if scenario {
+		write("name", "submit_s", "file", "client", "compute_ms_per_mb", "tenant", "offset_mb", "length_mb")
+	} else {
+		write("name", "submit_s", "file", "client", "compute_ms_per_mb")
+	}
+	for _, j := range t.Jobs {
+		rec := []string{j.Name,
 			strconv.FormatFloat(j.Submit.Seconds(), 'f', 3, 64),
 			j.File,
 			strconv.Itoa(j.Client),
-			strconv.FormatFloat(float64(j.Compute)/float64(time.Millisecond), 'f', -1, 64))
+			strconv.FormatFloat(float64(j.Compute)/float64(time.Millisecond), 'f', -1, 64)}
+		if scenario {
+			rec = append(rec, j.Tenant,
+				strconv.FormatFloat(j.Offset/topology.MB, 'f', -1, 64),
+				strconv.FormatFloat(j.Length/topology.MB, 'f', -1, 64))
+		}
+		write(rec...)
 	}
 	cw.Flush()
 	return cw.Error()
@@ -97,8 +124,8 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 				last = f.CreateAt
 			}
 		case "JOBS":
-			if len(rec) != 5 {
-				return nil, fmt.Errorf("workload: csv: JOBS row needs 5 fields, got %d", len(rec))
+			if len(rec) != 5 && len(rec) != 8 {
+				return nil, fmt.Errorf("workload: csv: JOBS row needs 5 or 8 fields, got %d", len(rec))
 			}
 			submitS, err1 := strconv.ParseFloat(rec[1], 64)
 			client, err2 := strconv.Atoi(rec[3])
@@ -112,6 +139,16 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 				File:    rec[2],
 				Client:  client,
 				Compute: time.Duration(computeMS * float64(time.Millisecond)),
+			}
+			if len(rec) == 8 {
+				offMB, err4 := strconv.ParseFloat(rec[6], 64)
+				lenMB, err5 := strconv.ParseFloat(rec[7], 64)
+				if err4 != nil || err5 != nil {
+					return nil, fmt.Errorf("workload: csv: bad JOBS row %v", rec)
+				}
+				j.Tenant = rec[5]
+				j.Offset = offMB * topology.MB
+				j.Length = lenMB * topology.MB
 			}
 			tr.Jobs = append(tr.Jobs, j)
 			if j.Submit > last {

@@ -35,6 +35,13 @@ type JobSpec struct {
 	Name    string        `json:"name"`
 	Client  int           `json:"client"`  // suggested client node
 	Compute time.Duration `json:"compute"` // per-MB map compute
+	// Tenant tags the job for multi-tenant scenarios ("" = untenanted).
+	Tenant string `json:"tenant,omitempty"`
+	// Offset/Length make the job a byte-ranged read (hdfs.ReadRange) instead
+	// of a whole-file access. Length 0 means whole file; Length > 0 reads
+	// [Offset, Offset+Length) only.
+	Offset float64 `json:"offset,omitempty"`
+	Length float64 `json:"length,omitempty"`
 }
 
 // Trace is a complete synthetic workload.
