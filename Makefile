@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test race check bench bench-accept benchdiff lint cover cover-check \
-	figures fuzz failover full-scale soak sweep degrade scenarios runtime-table examples clean
+	figures fuzz failover federate full-scale soak sweep degrade scenarios runtime-table examples clean
 
 all: build vet test
 
@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./...
 
 # The full gate: what CI runs and what a PR must keep green.
-check: build vet test race soak sweep degrade scenarios
+check: build vet test race soak sweep degrade scenarios federate
 
 # Cross-core determinism gate: the same threshold grid — and the scenario
 # grid — at -parallel 1 and -parallel 8 must merge to byte-identical
@@ -59,6 +59,18 @@ runtime-table:
 failover:
 	$(GO) test -race -run 'TestFailoverMidStorm|TestFailoverDemo|TestCheckpointResumeEquivalence|TestSystemCheckpointFailover' \
 		./internal/chaos/ ./internal/experiments/ ./internal/hdfs/ ./.
+
+# Federation gate: shards=1 must stay byte-identical to the single
+# namenode (state digest, checkpoint bytes, metrics, journal), the
+# 2/4-shard grid must be worker-count invariant, the two-phase
+# cross-shard rename must survive a crash between any two protocol
+# steps, and the 25-seed rename storm must hold the ownership oracle —
+# no file in two shards or zero shards, ever. All under the race
+# detector (see DESIGN.md §15).
+federate:
+	$(GO) test -race -run 'TestShardOneEquivalence|TestFederatedRoutingAndAggregation|TestCrossShardMoveRun|TestMoveCrashRecoveryAtEveryStep|TestResolveMovesBranches|TestFederatedCheckpointRoundTrip|TestFederatedSweepDeterminism' ./.
+	$(GO) test -race -run 'TestCrossShardRenameStorm|TestCheckFederationOracle' ./internal/invariant/
+	$(GO) test -race ./internal/federation/
 
 # Chaos soak: six virtual hours of crashes, partitions, and silent
 # corruption under heartbeat detection, across a 3-seed matrix, with the
@@ -125,6 +137,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseAd -fuzztime=30s ./internal/classad/
 	$(GO) test -fuzz=FuzzDecodeTrace -fuzztime=30s ./internal/workload/
 	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=30s ./internal/hdfs/
+	$(GO) test -fuzz=FuzzShardRouter -fuzztime=30s ./internal/federation/
+	$(GO) test -fuzz=FuzzDecodeFederatedCheckpoint -fuzztime=30s ./.
 
 examples:
 	$(GO) run ./examples/quickstart

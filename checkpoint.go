@@ -1,10 +1,14 @@
 package erms
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 
 	"erms/internal/auditlog"
+	"erms/internal/federation"
 )
 
 // Journal and JournalEntry surface the write-ahead journal types (see
@@ -21,7 +25,120 @@ type (
 // versioned, deterministic checkpoint format. Derived indexes are not
 // serialized; Restore rebuilds them. The system keeps running; the
 // checkpoint captures the state as of Now().
-func (s *System) Checkpoint(w io.Writer) error { return s.cluster.WriteCheckpoint(w) }
+//
+// A federated system with one shard writes the classic single-namenode
+// format, byte for byte — the shards=1 contract. With two or more shards
+// it writes the federated envelope: magic, envelope version, the router
+// (version + shard count), each shard's classic checkpoint blob
+// length-prefixed in shard order, and an FNV-1a trailer over everything
+// before it.
+func (s *System) Checkpoint(w io.Writer) error {
+	if s.shards == nil {
+		return s.cluster.WriteCheckpoint(w)
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].cluster.WriteCheckpoint(w)
+	}
+	return s.writeFederatedCheckpoint(w)
+}
+
+// The federated checkpoint envelope. EnvelopeVersion changes whenever the
+// envelope's own layout does; each shard blob inside carries the classic
+// checkpoint format's separate version.
+const (
+	fedCkptMagic       = "ERMSFEDC"
+	FedEnvelopeVersion = 1
+)
+
+func (s *System) writeFederatedCheckpoint(w io.Writer) error {
+	var body bytes.Buffer
+	body.WriteString(fedCkptMagic)
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		body.Write(scratch[:n])
+	}
+	putUvarint(FedEnvelopeVersion)
+	body.Write(s.router.Encode())
+	for i, sh := range s.shards {
+		var blob bytes.Buffer
+		if err := sh.cluster.WriteCheckpoint(&blob); err != nil {
+			return fmt.Errorf("erms: shard %d checkpoint: %w", i, err)
+		}
+		putUvarint(uint64(blob.Len()))
+		body.Write(blob.Bytes())
+	}
+	h := fnv.New64a()
+	h.Write(body.Bytes())
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("erms: federated checkpoint: %w", err)
+	}
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("erms: federated checkpoint: %w", err)
+	}
+	return nil
+}
+
+// restoreFederated rebuilds every shard from a federated envelope. The
+// system must be freshly built with the same Options (same shard count);
+// the whole stream is read and checksummed before any shard is touched,
+// and each blob then passes the classic per-shard restore validation.
+func (s *System) restoreFederated(data []byte) error {
+	if len(data) < len(fedCkptMagic)+8 {
+		return fmt.Errorf("erms: federated checkpoint too short (%d bytes)", len(data))
+	}
+	payload, trailer := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(payload)
+	if got, want := binary.LittleEndian.Uint64(trailer), h.Sum64(); got != want {
+		return fmt.Errorf("erms: federated checkpoint checksum mismatch (%#x != %#x)", got, want)
+	}
+	br := bytes.NewReader(payload[len(fedCkptMagic):])
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("erms: federated checkpoint version: %w", err)
+	}
+	if version != FedEnvelopeVersion {
+		return fmt.Errorf("erms: unsupported federated envelope version %d (want %d)",
+			version, FedEnvelopeVersion)
+	}
+	rest := payload[len(payload)-br.Len():]
+	router, used, err := federation.Decode(rest)
+	if err != nil {
+		return fmt.Errorf("erms: federated checkpoint router: %w", err)
+	}
+	if router.Shards() != len(s.shards) {
+		return fmt.Errorf("erms: checkpoint has %d shards, system has %d",
+			router.Shards(), len(s.shards))
+	}
+	br = bytes.NewReader(rest[used:])
+	for i, sh := range s.shards {
+		blobLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("erms: shard %d blob length: %w", i, err)
+		}
+		if blobLen > uint64(br.Len()) {
+			return fmt.Errorf("erms: shard %d blob length %d exceeds remaining %d bytes",
+				i, blobLen, br.Len())
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return fmt.Errorf("erms: shard %d blob: %w", i, err)
+		}
+		if err := sh.cluster.RestoreCheckpoint(bytes.NewReader(blob)); err != nil {
+			return fmt.Errorf("erms: shard %d restore: %w", i, err)
+		}
+		if sh.cluster.Journal() != nil {
+			sh.cluster.SetJournal(auditlog.NewJournalAt(sh.cluster.RestoredJournalSeq()))
+		}
+	}
+	if br.Len() != 0 {
+		return fmt.Errorf("erms: federated checkpoint: %d trailing bytes", br.Len())
+	}
+	return nil
+}
 
 // Restore rebuilds the namenode's state from a checkpoint stream. The
 // system must be freshly built with the same Options (no files created,
@@ -34,23 +151,56 @@ func (s *System) Checkpoint(w io.Writer) error { return s.cluster.WriteCheckpoin
 // to continue the restored sequence numbering, so a checkpoint of the
 // restored system re-encodes byte-identically to one from the original.
 func (s *System) Restore(r io.Reader) error {
-	if err := s.cluster.RestoreCheckpoint(r); err != nil {
+	if s.shards != nil && len(s.shards) > 1 {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return fmt.Errorf("erms: federated checkpoint read: %w", err)
+		}
+		return s.restoreFederated(data)
+	}
+	c := s.HDFS()
+	if err := c.RestoreCheckpoint(r); err != nil {
 		return err
 	}
-	if s.cluster.Journal() != nil {
-		s.cluster.SetJournal(auditlog.NewJournalAt(s.cluster.RestoredJournalSeq()))
+	if c.Journal() != nil {
+		c.SetJournal(auditlog.NewJournalAt(c.RestoredJournalSeq()))
 	}
 	return nil
 }
 
 // StateDigest fingerprints the durable namenode state (see
 // hdfs.Cluster.StateDigest): two systems with equal digests agree on the
-// namespace, block map, replica lists, and node lifecycle states.
-func (s *System) StateDigest() uint64 { return s.cluster.StateDigest() }
+// namespace, block map, replica lists, and node lifecycle states. A
+// one-shard federation digests identically to the classic system; with
+// more shards the per-shard digests are mixed with the shard index so
+// re-homing a file between shards changes the digest.
+func (s *System) StateDigest() uint64 {
+	if s.shards == nil {
+		return s.cluster.StateDigest()
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].cluster.StateDigest()
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	mix := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	mix(federation.RouterVersion)
+	mix(uint64(len(s.shards)))
+	for i, sh := range s.shards {
+		mix(uint64(i))
+		mix(sh.cluster.StateDigest())
+	}
+	return h.Sum64()
+}
 
 // Journal returns the write-ahead journal, or nil unless EnableJournal
-// was set (or the system was built by NewStandby).
-func (s *System) Journal() *Journal { return s.cluster.Journal() }
+// was set (or the system was built by NewStandby). On a federated facade
+// this is shard 0's journal; each shard journals independently
+// (Shard(i).Journal()).
+func (s *System) Journal() *Journal { return s.HDFS().Journal() }
 
 // NewStandby commissions a standby namenode: a fresh system built from
 // opts that restores the checkpoint and replays the journal tail, ending
@@ -64,6 +214,10 @@ func (s *System) Journal() *Journal { return s.cluster.Journal() }
 // not restored — clients retry, exactly as in a real failover — and the
 // ERMS judge starts cold, re-warming its heat windows from live traffic.
 func NewStandby(opts Options, checkpoint io.Reader, tail []JournalEntry) (*System, error) {
+	if opts.Shards > 1 {
+		return nil, fmt.Errorf("erms: NewStandby commissions one namenode; federated shards fail over via FailoverShard")
+	}
+	opts.Shards = 0
 	s := newBase(opts)
 	if err := s.cluster.RestoreCheckpoint(checkpoint); err != nil {
 		return nil, fmt.Errorf("standby restore: %w", err)

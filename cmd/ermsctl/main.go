@@ -148,7 +148,9 @@ func runToolCommand(cmd string, args []string) {
 // per-tier repair queue depths, and the repair pipeline's occupancy
 // against its caps. `-kill N` fails N datanodes shortly before the
 // horizon so the report catches the cluster mid-incident (killing enough
-// nodes trips the safe-mode guard).
+// nodes trips the safe-mode guard). `-shards N` runs a federated
+// namespace instead and appends a per-shard table (epoch, namespace
+// size, safe mode, queue depths).
 func runStatusCommand(args []string) {
 	fs := flag.NewFlagSet("ermsctl status", flag.ExitOnError)
 	var (
@@ -156,11 +158,13 @@ func runStatusCommand(args []string) {
 		duration = fs.Duration("duration", 30*time.Minute, "trace length")
 		files    = fs.Int("files", 20, "file catalog size")
 		kill     = fs.Int("kill", 0, "datanodes to fail 10s before the horizon")
+		shards   = fs.Int("shards", 0, "partition the namespace across N namenodes (0 = single)")
 	)
 	fs.Parse(args)
 
 	sys := erms.NewSystem(erms.Options{
 		EnableJournal: true,
+		Shards:        *shards,
 		SafeMode:      erms.SafeModeConfig{Enabled: true},
 	})
 	tr := erms.SynthesizeWorkload(erms.WorkloadConfig{
@@ -180,41 +184,14 @@ func runStatusCommand(args []string) {
 					break
 				}
 				if d.State == hdfs.StateActive {
-					sys.HDFS().Kill(d.ID)
+					sys.KillNode(int(d.ID))
 					killed++
 				}
 			}
 		})
 	}
 	sys.RunUntil(horizon)
-
-	c := sys.HDFS()
-	m := sys.Manager()
-	cm := sys.Metrics()
-	mode := "OFF"
-	if c.InSafeMode() {
-		mode = "ON"
-	}
-	fmt.Printf("== namenode status @ %s ==\n", sys.Now())
-	fmt.Printf("safe mode:      %s (entries %d, exits %d, rejections %d)\n",
-		mode, cm.SafeModeEntries, cm.SafeModeExits, cm.SafeModeRejections)
-	fmt.Printf("availability:   %.4f of blocks live, %.3f of nodes live\n",
-		c.BlockAvailability(), c.LiveNodeFraction())
-	fmt.Printf("writer epoch:   %d (journal epoch %d, fenced=%v; fenced writes rejected %d)\n",
-		c.Epoch(), sys.Journal().Epoch(), c.Fenced(), cm.FencedWritesRejected)
-	depths := m.RepairQueueDepths()
-	tiers := [...]string{"last-replica", "below-half", "below-target", "decomm-only"}
-	fmt.Printf("repair queues: ")
-	for i, n := range depths {
-		fmt.Printf(" %s=%d", tiers[i], n)
-	}
-	fmt.Println()
-	caps := m.RepairCaps()
-	fmt.Printf("repair pipeline: %d jobs, %d streams in flight (caps: %d cluster-wide, %d per node)\n",
-		m.ActiveRepairJobs(), m.ActiveRepairStreams(), caps.MaxStreams, caps.MaxStreamsPerNode)
-	st := m.Stats()
-	fmt.Printf("counters:       repairs_deferred=%d repairs_throttled=%d\n",
-		st.RepairsDeferred, st.RepairsThrottled)
+	fmt.Print(statusReport(sys))
 }
 
 // runCheckpointCommand handles the durability subcommands. `checkpoint`

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"erms"
+	"erms/internal/federation"
+)
+
+// statusReport renders the `ermsctl status` output. On a single-namenode
+// deployment the header describes the one cluster; on a federated
+// deployment the header describes shard 0 (the facade's default namenode)
+// and a shards table follows with every shard's epoch, namespace size,
+// safe-mode state, and repair queue depths.
+func statusReport(sys *erms.System) string {
+	var b strings.Builder
+	c := sys.HDFS()
+	m := sys.Manager()
+	cm := sys.Metrics()
+	mode := "OFF"
+	if c.InSafeMode() {
+		mode = "ON"
+	}
+	fmt.Fprintf(&b, "== namenode status @ %s ==\n", sys.Now())
+	fmt.Fprintf(&b, "safe mode:      %s (entries %d, exits %d, rejections %d)\n",
+		mode, cm.SafeModeEntries, cm.SafeModeExits, cm.SafeModeRejections)
+	fmt.Fprintf(&b, "availability:   %.4f of blocks live, %.3f of nodes live\n",
+		c.BlockAvailability(), c.LiveNodeFraction())
+	fmt.Fprintf(&b, "writer epoch:   %d (journal epoch %d, fenced=%v; fenced writes rejected %d)\n",
+		c.Epoch(), sys.Journal().Epoch(), c.Fenced(), cm.FencedWritesRejected)
+	depths := m.RepairQueueDepths()
+	fmt.Fprintf(&b, "repair queues: ")
+	for i, n := range depths {
+		fmt.Fprintf(&b, " %s=%d", repairTiers[i], n)
+	}
+	fmt.Fprintln(&b)
+	caps := m.RepairCaps()
+	fmt.Fprintf(&b, "repair pipeline: %d jobs, %d streams in flight (caps: %d cluster-wide, %d per node)\n",
+		m.ActiveRepairJobs(), m.ActiveRepairStreams(), caps.MaxStreams, caps.MaxStreamsPerNode)
+	st := m.Stats()
+	fmt.Fprintf(&b, "counters:       repairs_deferred=%d repairs_throttled=%d\n",
+		st.RepairsDeferred, st.RepairsThrottled)
+	if sys.Shards() > 1 {
+		fmt.Fprintf(&b, "\n== shards (router v%d, %d-way) ==\n", federation.RouterVersion, sys.Shards())
+		for i := 0; i < sys.Shards(); i++ {
+			sh := sys.Shard(i)
+			sc := sh.HDFS()
+			smode := "off"
+			if sc.InSafeMode() {
+				smode = "ON"
+			}
+			fmt.Fprintf(&b, "  shard %d: epoch %d/%d files=%-4d safe=%-3s queues", i,
+				sc.Epoch(), sh.Journal().Epoch(), sc.Files(), smode)
+			for t, n := range sh.Manager().RepairQueueDepths() {
+				fmt.Fprintf(&b, " %s=%d", repairTiers[t], n)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// repairTiers names the repair pipeline's admission tiers in priority
+// order; indexes match Manager.RepairQueueDepths.
+var repairTiers = [...]string{"last-replica", "below-half", "below-target", "decomm-only"}

@@ -1,0 +1,425 @@
+package erms
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"erms/internal/auditlog"
+	"erms/internal/federation"
+	"erms/internal/hdfs"
+	"erms/internal/sim"
+)
+
+// Namespace federation. A federated System is a facade over N namenode
+// shards sharing one simulation engine: the pinned hash-of-path router
+// (internal/federation) assigns every file to exactly one shard, which
+// owns its block map, under-replication set, journal epoch, and judge
+// instance. Datanodes are global — every shard sees the full topology and
+// tracks its own block pool on each node, HDFS federation's block-pool
+// model — so node lifecycle changes fan out across shards (KillNode,
+// RestartNode) while namespace operations route by path.
+//
+// Cross-shard renames are the one operation no single shard can perform
+// alone. They run a journaled two-phase move:
+//
+//	1. intent     marker in the source shard's journal
+//	2. copy       file materialized at the destination's staging path
+//	              (/.fedmove<dst>)
+//	3. commit     marker in the source journal — the point of no return
+//	4. publish    staging path renamed to the final path
+//	5. tombstone  source file deleted, closing marker journaled
+//
+// A crash between any two steps leaves the pending-move table (rebuilt by
+// journal replay) holding the protocol state; ResolveMoves rolls
+// intent-only moves back and committed moves forward, so no file is ever
+// visible in two shards or zero shards — the invariant the cross-shard
+// storm suite asserts.
+
+// MoveStagePrefix prefixes the destination-shard staging path of an
+// in-flight cross-shard move: a move of /a/b stages at /.fedmove/a/b.
+// Staging paths are protocol-internal — exempt from ownership checks and
+// cleaned up by ResolveMoves.
+const MoveStagePrefix = "/.fedmove"
+
+// shardSnap is one shard's rolling failover base: checkpoint bytes plus
+// the journal position the tail must continue from.
+type shardSnap struct {
+	ckpt []byte
+	seq  uint64
+}
+
+// newFederated builds a facade over opts.Shards namenode shards on one
+// shared engine. Each shard is a complete single-namenode System — its
+// own cluster, journal, metrics registry, and (unless disabled) manager —
+// built from opts with Shards stripped.
+func newFederated(opts Options) *System {
+	n := opts.Shards
+	child := opts
+	child.Shards = 0
+	engine := sim.NewEngine()
+	parent := &System{
+		engine:    engine,
+		router:    federation.New(n),
+		childOpts: child,
+		snaps:     make([]shardSnap, n),
+	}
+	for i := 0; i < n; i++ {
+		sh := newBaseOn(engine, child)
+		if child.EnableJournal {
+			sh.cluster.SetJournal(auditlog.NewJournal())
+		}
+		sh.attachManager(child)
+		parent.shards = append(parent.shards, sh)
+	}
+	parent.mr = parent.shards[0].mr
+	parent.tracer = parent.shards[0].tracer
+	parent.registry = parent.shards[0].registry
+	return parent
+}
+
+// shardFor returns the shard owning path (the system itself when not
+// federated).
+func (s *System) shardFor(path string) *System {
+	if s.shards == nil {
+		return s
+	}
+	return s.shards[s.router.Shard(path)]
+}
+
+// eachShard visits every shard in index order (just the system itself
+// when not federated).
+func (s *System) eachShard(fn func(*System)) {
+	if s.shards == nil {
+		fn(s)
+		return
+	}
+	for _, sh := range s.shards {
+		fn(sh)
+	}
+}
+
+// Shards returns the shard count: 1 for a classic single-namenode system,
+// opts.Shards for a federated facade.
+func (s *System) Shards() int {
+	if s.shards == nil {
+		return 1
+	}
+	return len(s.shards)
+}
+
+// Shard returns shard i as a full single-namenode System (the system
+// itself when not federated, for any i).
+func (s *System) Shard(i int) *System {
+	if s.shards == nil {
+		return s
+	}
+	return s.shards[i]
+}
+
+// Router returns the path→shard router (a single-shard router when not
+// federated).
+func (s *System) Router() federation.Router {
+	if s.shards == nil {
+		return federation.New(1)
+	}
+	return s.router
+}
+
+// JudgePass runs one synchronous judging pass on every shard's manager in
+// shard order — the federated inner loop the sharded judge benchmark
+// pins. Shards judge independently (each sees only its own block pool's
+// heat), which is what lets the full pass parallelize shard-per-worker on
+// the sweep engine; this sequential walk keeps the shared-engine single
+// writer discipline for in-process use.
+func (s *System) JudgePass() {
+	s.eachShard(func(sh *System) {
+		if sh.manager != nil {
+			sh.manager.RunJudgeOnce()
+		}
+	})
+}
+
+// KillNode declares datanode id crashed in every shard: datanodes are
+// global, so losing a machine loses its replicas in all block pools at
+// once.
+func (s *System) KillNode(id int) {
+	s.eachShard(func(sh *System) { sh.cluster.Kill(hdfs.DatanodeID(id)) })
+}
+
+// RestartNode restarts datanode id in every shard (empty, as after a
+// crash-wipe restart).
+func (s *System) RestartNode(id int) {
+	s.eachShard(func(sh *System) { sh.cluster.Restart(hdfs.DatanodeID(id)) })
+}
+
+// Move is one in-flight cross-shard rename. Run drives it to completion;
+// Step advances one protocol step at a time so tests can crash a shard
+// between any two steps and exercise ResolveMoves.
+type Move struct {
+	sys            *System
+	src, dst       string
+	srcIdx, dstIdx int
+	size           float64
+	repl           int
+	step           int
+}
+
+const moveSteps = 5
+
+// StartMove opens a cross-shard move of src to dst. The source file must
+// exist, the destination must be free, and the paths must hash to
+// different shards (same-shard renames are plain Rename). An encoded
+// source rehydrates as a plain replicated file at the destination — the
+// copy is a fresh create, and cold data re-earns its encoding there.
+func (s *System) StartMove(src, dst string) (*Move, error) {
+	if s.shards == nil {
+		return nil, errors.New("erms: StartMove requires a federated system (Options.Shards)")
+	}
+	si, di := s.router.Shard(src), s.router.Shard(dst)
+	if si == di {
+		return nil, fmt.Errorf("erms: %q and %q both live in shard %d; use Rename", src, dst, si)
+	}
+	srcC, dstC := s.shards[si].cluster, s.shards[di].cluster
+	f := srcC.File(src)
+	if f == nil {
+		return nil, fmt.Errorf("erms: no such file %q in shard %d", src, si)
+	}
+	if dstC.File(dst) != nil {
+		return nil, fmt.Errorf("erms: destination %q already exists in shard %d", dst, di)
+	}
+	for _, rec := range srcC.PendingMoves() {
+		if rec.Src == src {
+			return nil, fmt.Errorf("erms: move of %q already in flight (-> %q)", src, rec.Dst)
+		}
+	}
+	repl := f.TargetRepl
+	if repl < 1 {
+		repl = 1
+	}
+	return &Move{sys: s, src: src, dst: dst, srcIdx: si, dstIdx: di, size: f.Size, repl: repl}, nil
+}
+
+// Done reports whether every protocol step has run.
+func (m *Move) Done() bool { return m.step >= moveSteps }
+
+// Step runs the next protocol step. An error leaves the step not taken;
+// fencing or safe-mode rejections surface here, before the protocol
+// advances.
+func (m *Move) Step() error {
+	srcC := m.sys.shards[m.srcIdx].cluster
+	dstC := m.sys.shards[m.dstIdx].cluster
+	stage := MoveStagePrefix + m.dst
+	switch m.step {
+	case 0: // intent: the durable "this move may be in flight" fact
+		if err := srcC.AppendMarker(auditlog.Entry{
+			Op: auditlog.OpFedMoveIntent, Path: m.src, Dst: m.dst, Node: m.dstIdx,
+		}); err != nil {
+			return err
+		}
+	case 1: // copy: materialize at the destination's staging path
+		if _, err := dstC.CreateFile(stage, m.size, m.repl, -1); err != nil {
+			return err
+		}
+	case 2: // commit: the point of no return, journaled at the source
+		if err := srcC.AppendMarker(auditlog.Entry{
+			Op: auditlog.OpFedMoveCommit, Path: m.src, Dst: m.dst, Node: m.dstIdx,
+		}); err != nil {
+			return err
+		}
+	case 3: // publish: the destination shard renames staging -> final
+		if err := dstC.Rename(stage, m.dst); err != nil {
+			return err
+		}
+	case 4: // tombstone: drop the source copy and close the protocol
+		if err := srcC.DeleteFile(m.src); err != nil {
+			return err
+		}
+		if err := srcC.AppendMarker(auditlog.Entry{
+			Op: auditlog.OpFedMoveTombstone, Path: m.src, Dst: m.dst, Node: m.dstIdx, Flag: true,
+		}); err != nil {
+			return err
+		}
+	default:
+		return errors.New("erms: move already complete")
+	}
+	m.step++
+	return nil
+}
+
+// Run drives the move to completion.
+func (m *Move) Run() error {
+	for m.step < moveSteps {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResolveMoves closes every pending cross-shard move left by a crash:
+// intent-only moves roll back (the staging copy, if any, is deleted and
+// the source keeps the file), committed moves roll forward (publish the
+// staging copy — or re-copy from the still-live source if the destination
+// shard lost it — then drop the source). Orphaned staging files with no
+// pending record are removed last. Returns how many moves and orphans
+// were resolved. FailoverShard calls this after every promotion; it is
+// idempotent and safe to run any time the system is quiescent.
+func (s *System) ResolveMoves() (int, error) {
+	if s.shards == nil {
+		return 0, nil
+	}
+	resolved := 0
+	for si, sh := range s.shards {
+		srcC := sh.cluster
+		for _, rec := range srcC.PendingMoves() {
+			di := s.router.Shard(rec.Dst)
+			dstC := s.shards[di].cluster
+			stage := MoveStagePrefix + rec.Dst
+			if !rec.Committed {
+				if dstC.File(stage) != nil {
+					if err := dstC.DeleteFile(stage); err != nil {
+						return resolved, fmt.Errorf("erms: rollback %q -> %q: %w", rec.Src, rec.Dst, err)
+					}
+				}
+				if err := srcC.AppendMarker(auditlog.Entry{
+					Op: auditlog.OpFedMoveTombstone, Path: rec.Src, Dst: rec.Dst, Node: di,
+				}); err != nil {
+					return resolved, err
+				}
+				resolved++
+				continue
+			}
+			if dstC.File(rec.Dst) == nil {
+				if dstC.File(stage) != nil {
+					if err := dstC.Rename(stage, rec.Dst); err != nil {
+						return resolved, fmt.Errorf("erms: publish %q: %w", rec.Dst, err)
+					}
+				} else {
+					f := srcC.File(rec.Src)
+					if f == nil {
+						return resolved, fmt.Errorf(
+							"erms: committed move %q -> %q lost both copies (shard %d -> %d)",
+							rec.Src, rec.Dst, si, di)
+					}
+					repl := f.TargetRepl
+					if repl < 1 {
+						repl = 1
+					}
+					if _, err := dstC.CreateFile(rec.Dst, f.Size, repl, -1); err != nil {
+						return resolved, fmt.Errorf("erms: re-copy %q: %w", rec.Dst, err)
+					}
+				}
+			}
+			if srcC.File(rec.Src) != nil {
+				if err := srcC.DeleteFile(rec.Src); err != nil {
+					return resolved, fmt.Errorf("erms: drop moved source %q: %w", rec.Src, err)
+				}
+			}
+			if err := srcC.AppendMarker(auditlog.Entry{
+				Op: auditlog.OpFedMoveTombstone, Path: rec.Src, Dst: rec.Dst, Node: di, Flag: true,
+			}); err != nil {
+				return resolved, err
+			}
+			resolved++
+		}
+	}
+	// Every pending move is now closed, so any staging path left anywhere
+	// is an orphan: its intent predates the retained journal (the record
+	// was never rebuilt) and its move never committed. Roll it back.
+	for _, sh := range s.shards {
+		for _, p := range sh.cluster.FilePaths() {
+			if strings.HasPrefix(p, MoveStagePrefix+"/") {
+				if err := sh.cluster.DeleteFile(p); err != nil {
+					return resolved, fmt.Errorf("erms: orphan staging %q: %w", p, err)
+				}
+				resolved++
+			}
+		}
+	}
+	return resolved, nil
+}
+
+// SnapshotShards captures a rolling failover base — checkpoint bytes plus
+// journal position — for every shard. FailoverShard promotes from the
+// most recent snapshot; the journal tail from that position replays the
+// rest.
+func (s *System) SnapshotShards() error {
+	if s.shards == nil {
+		return errors.New("erms: SnapshotShards requires a federated system")
+	}
+	for i, sh := range s.shards {
+		j := sh.cluster.Journal()
+		if j == nil {
+			return fmt.Errorf("erms: shard %d has no journal (EnableJournal)", i)
+		}
+		var buf bytes.Buffer
+		if err := sh.cluster.WriteCheckpoint(&buf); err != nil {
+			return fmt.Errorf("erms: snapshot shard %d: %w", i, err)
+		}
+		s.snaps[i] = shardSnap{ckpt: buf.Bytes(), seq: j.NextSeq()}
+	}
+	return nil
+}
+
+// FailoverShard crashes shard i's namenode and promotes a replacement
+// built from the shard's last snapshot plus its journal tail, on the
+// shared engine: restore, replay, continue the sequence numbering, bump
+// the writer epoch (fencing the old primary — its late writes bounce with
+// ErrFenced), and attach a fresh manager whose judge starts cold. The
+// shard's in-flight transient work is lost, exactly like a real failover;
+// cross-shard moves the crash interrupted are resolved before returning.
+func (s *System) FailoverShard(i int) error {
+	if s.shards == nil {
+		return errors.New("erms: FailoverShard requires a federated system")
+	}
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("erms: no shard %d (have %d)", i, len(s.shards))
+	}
+	snap := s.snaps[i]
+	if snap.ckpt == nil {
+		return fmt.Errorf("erms: no snapshot for shard %d (call SnapshotShards first)", i)
+	}
+	old := s.shards[i]
+	oldJ := old.cluster.Journal()
+	if oldJ == nil {
+		return fmt.Errorf("erms: shard %d has no journal (EnableJournal)", i)
+	}
+	tail := oldJ.Tail(snap.seq)
+	if tail == nil {
+		return fmt.Errorf("erms: shard %d journal truncated past snapshot seq %d", i, snap.seq)
+	}
+	nb := newBaseOn(s.engine, s.childOpts)
+	if err := nb.cluster.RestoreCheckpointInPlace(bytes.NewReader(snap.ckpt)); err != nil {
+		return fmt.Errorf("erms: shard %d restore: %w", i, err)
+	}
+	if err := nb.cluster.ReplayJournal(tail); err != nil {
+		return fmt.Errorf("erms: shard %d replay: %w", i, err)
+	}
+	nb.cluster.SetJournal(auditlog.NewJournalAt(nb.cluster.RestoredJournalSeq()))
+	nb.cluster.Journal().SetEpoch(oldJ.Epoch() + 1)
+	nb.cluster.AdoptEpoch()
+	// Fence the deposed primary: bumping its journal's epoch past its
+	// writer epoch makes every late write detectably stale.
+	oldJ.BumpEpoch()
+	if old.manager != nil {
+		old.manager.Stop()
+	}
+	nb.attachManager(s.childOpts)
+	s.shards[i] = nb
+	if i == 0 {
+		s.mr = nb.mr
+		s.tracer = nb.tracer
+		s.registry = nb.registry
+	}
+	// Refresh the shard's snapshot: the new journal starts at the replayed
+	// position, so the old base's tail no longer exists here.
+	var buf bytes.Buffer
+	if err := nb.cluster.WriteCheckpoint(&buf); err != nil {
+		return fmt.Errorf("erms: shard %d re-snapshot: %w", i, err)
+	}
+	s.snaps[i] = shardSnap{ckpt: buf.Bytes(), seq: nb.cluster.Journal().NextSeq()}
+	_, err := s.ResolveMoves()
+	return err
+}

@@ -1,0 +1,63 @@
+package auditlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The federation move markers were added after JournalVersion 2 shipped;
+// they must encode/decode like any other op, render readably, and stay
+// valid ops (version-2 decoders reject unknown ops, which is what makes
+// additive extension safe).
+func TestFedMoveMarkersRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Op: OpFedMoveIntent, Path: "/a/src", Dst: "/b/dst", Node: 3},
+		{Op: OpFedMoveCommit, Path: "/a/src", Dst: "/b/dst", Node: 3},
+		{Op: OpFedMoveTombstone, Path: "/a/src", Dst: "/b/dst", Node: 3, Flag: true},
+	}
+	j := NewJournal()
+	for _, e := range entries {
+		if !e.Op.Valid() {
+			t.Fatalf("%s not Valid()", e.Op)
+		}
+		j.Append(e)
+	}
+	var buf bytes.Buffer
+	if err := EncodeEntries(&buf, j.Entries()); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeEntries(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range got {
+		if got[i] != j.Entries()[i] {
+			t.Fatalf("entry %d mismatch:\n got %+v\nwant %+v", i, got[i], j.Entries()[i])
+		}
+	}
+}
+
+func TestFedMoveMarkerStrings(t *testing.T) {
+	cases := []struct {
+		e    Entry
+		want []string
+	}{
+		{Entry{Op: OpFedMoveIntent, Path: "/s", Dst: "/d", Node: 2},
+			[]string{"fedMoveIntent", "/s -> /d", "shard=2"}},
+		{Entry{Op: OpFedMoveCommit, Path: "/s", Dst: "/d", Node: 2},
+			[]string{"fedMoveCommit", "/s -> /d"}},
+		{Entry{Op: OpFedMoveTombstone, Path: "/s", Dst: "/d", Node: 2, Flag: true},
+			[]string{"fedMoveTombstone", "forward=true"}},
+		{Entry{Op: OpFedMoveTombstone, Path: "/s", Dst: "/d", Node: 2},
+			[]string{"forward=false"}},
+	}
+	for _, c := range cases {
+		s := c.e.String()
+		for _, w := range c.want {
+			if !strings.Contains(s, w) {
+				t.Errorf("%q missing %q", s, w)
+			}
+		}
+	}
+}

@@ -68,6 +68,26 @@ const (
 	// OpReported records that node Node reported its last copy of block
 	// Block corrupt (the keep-last-copy branch of corruption handling).
 	OpReported
+	// The federation move markers journal the cross-shard rename protocol
+	// in the SOURCE shard's journal. They mutate no namespace state of
+	// their own — replay validates them and tracks the pending-move table —
+	// but they are durable protocol facts: a standby promoted mid-move uses
+	// them to decide rollback (intent without commit) versus roll-forward
+	// (commit without tombstone). Added after JournalVersion 2 shipped;
+	// additive ops keep the wire format compatible because version-2
+	// decoders already reject unknown ops loudly rather than guessing.
+	//
+	// OpFedMoveIntent opens a move of file Path (owned by this shard) to
+	// Dst, whose owner is shard Node.
+	OpFedMoveIntent
+	// OpFedMoveCommit is the commit point of the move Path -> Dst: the
+	// copy exists at the destination shard's staging path and the move
+	// must now roll forward.
+	OpFedMoveCommit
+	// OpFedMoveTombstone closes the move Path -> Dst. Flag records how:
+	// true = rolled forward (file now lives at Dst in shard Node), false =
+	// rolled back (file stayed at Path).
+	OpFedMoveTombstone
 	opSentinel // one past the last valid op
 )
 
@@ -87,6 +107,10 @@ var opNames = [...]string{
 	OpNodeState:   "nodeState",
 	OpNodeStale:   "nodeStale",
 	OpReported:    "reported",
+
+	OpFedMoveIntent:    "fedMoveIntent",
+	OpFedMoveCommit:    "fedMoveCommit",
+	OpFedMoveTombstone: "fedMoveTombstone",
 }
 
 func (o Op) String() string {
@@ -150,6 +174,10 @@ func (e Entry) String() string {
 		fmt.Fprintf(&b, " node=%d state=%d fresh=%t", e.Node, e.State, e.Flag)
 	case OpNodeStale:
 		fmt.Fprintf(&b, " node=%d stale=%t", e.Node, e.Flag)
+	case OpFedMoveIntent, OpFedMoveCommit:
+		fmt.Fprintf(&b, " %s -> %s shard=%d", e.Path, e.Dst, e.Node)
+	case OpFedMoveTombstone:
+		fmt.Fprintf(&b, " %s -> %s shard=%d forward=%t", e.Path, e.Dst, e.Node, e.Flag)
 	}
 	return b.String()
 }

@@ -1,0 +1,94 @@
+// Package federation partitions the namenode namespace across shards.
+//
+// A Router deterministically maps every file path to the shard that owns
+// it — its block map, under-replication set, journal epoch, and judge
+// instance all live there. The hash function is pinned (FNV-1a 64,
+// implemented locally rather than through hash/fnv so the layout can
+// never drift with the standard library) and versioned: a checkpoint
+// envelope records RouterVersion, and restore refuses a layout it does
+// not know rather than silently re-homing files. Datanodes stay global;
+// each shard sees the full topology and tracks only its own block pool
+// on every node, exactly HDFS federation's block-pool model.
+package federation
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RouterVersion pins the path→shard mapping. Any change to the hash
+// function or its reduction to a shard index must bump this; decoders
+// reject versions they do not know, because replaying a journal against
+// a re-homed namespace would scatter files across the wrong shards.
+const RouterVersion = 1
+
+// FNV-1a 64 parameters, fixed by RouterVersion 1.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Router maps file paths to shard indexes. The zero value is invalid;
+// use New.
+type Router struct {
+	shards int
+}
+
+// New returns a router over n shards (n < 1 is treated as 1).
+func New(n int) Router {
+	if n < 1 {
+		n = 1
+	}
+	return Router{shards: n}
+}
+
+// Shards returns the shard count.
+func (r Router) Shards() int { return r.shards }
+
+// Shard returns the owning shard index for path, in [0, Shards()).
+func (r Router) Shard(path string) int {
+	if r.shards <= 1 {
+		return 0
+	}
+	return int(Hash(path) % uint64(r.shards))
+}
+
+// Hash is the pinned RouterVersion-1 path hash (FNV-1a 64).
+func Hash(path string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Encode serializes the router for a checkpoint envelope: RouterVersion
+// then the shard count, both uvarints.
+func (r Router) Encode() []byte {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64)
+	buf = binary.AppendUvarint(buf, RouterVersion)
+	buf = binary.AppendUvarint(buf, uint64(r.shards))
+	return buf
+}
+
+// Decode parses an Encode result, returning the router and the number of
+// bytes consumed. Unknown router versions and implausible shard counts
+// are errors, never guesses.
+func Decode(data []byte) (Router, int, error) {
+	version, n := binary.Uvarint(data)
+	if n <= 0 {
+		return Router{}, 0, fmt.Errorf("federation: truncated router version")
+	}
+	if version != RouterVersion {
+		return Router{}, 0, fmt.Errorf("federation: unsupported router version %d (want %d)", version, RouterVersion)
+	}
+	shards, m := binary.Uvarint(data[n:])
+	if m <= 0 {
+		return Router{}, 0, fmt.Errorf("federation: truncated shard count")
+	}
+	if shards < 1 || shards > 1<<16 {
+		return Router{}, 0, fmt.Errorf("federation: implausible shard count %d", shards)
+	}
+	return Router{shards: int(shards)}, n + m, nil
+}

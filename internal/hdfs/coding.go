@@ -176,6 +176,10 @@ func (c *Cluster) commitParity(pb *Block, target DatanodeID, err error, done fun
 	// Local parity write: consumes the encoder's disk for one block.
 	flow := c.fabric.StartFlow([]topology.LinkID{c.topo.Node(topology.NodeID(target)).Disk},
 		pb.Size, 0, func(*netsim.Flow) {
+			if c.Block(pb.ID) != pb {
+				c.finish(done, fmt.Errorf("hdfs: parity block %d deleted during write", pb.ID))
+				return
+			}
 			c.attachReplica(pb, target)
 			c.finish(done, nil)
 		})
@@ -401,6 +405,10 @@ func (c *Cluster) commitRebuild(b *Block, target DatanodeID, err error, done fun
 	}
 	c.fabric.StartFlow([]topology.LinkID{c.topo.Node(topology.NodeID(target)).Disk},
 		b.Size, 0, func(*netsim.Flow) {
+			if c.Block(b.ID) != b {
+				c.finish(done, fmt.Errorf("hdfs: block %d deleted during rebuild", b.ID))
+				return
+			}
 			c.attachReplica(b, target)
 			c.metrics.BlocksRebuilt++
 			c.finish(done, nil)

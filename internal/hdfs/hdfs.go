@@ -390,6 +390,12 @@ type Cluster struct {
 	replaying      bool
 	ckptJournalSeq uint64
 
+	// fedMoves is the pending cross-shard move table (see federation.go):
+	// one record per open move whose source is this shard, maintained by
+	// both the live marker path and journal replay. Nil when this cluster
+	// has never sourced a move.
+	fedMoves map[string]*MoveRecord
+
 	// epoch is this namenode's writer epoch. It is legitimate only while it
 	// matches the attached journal's epoch; a standby promotion bumps the
 	// journal's epoch, fencing this writer (see Fenced). Transient election
@@ -885,6 +891,15 @@ func (c *Cluster) Rename(src, dst string) error {
 // landed copy is pristine, so any corruption flag from a previous
 // incarnation of the replica is cleared.
 func (c *Cluster) attachReplica(b *Block, dn DatanodeID) {
+	// A copy can land after its file was deleted: block IDs are never
+	// reused, so pointer identity against the block map is exact. The
+	// landed bytes belong to a dead block — discard them, exactly as a
+	// real datanode invalidates an unknown block on its next report.
+	// Attaching instead would leave the node's block set pointing at a
+	// nil block-map entry, which the next declareDead walk dereferences.
+	if c.blocks[b.ID] != b {
+		return
+	}
 	d := c.datanodes[dn]
 	if d.blocks.Has(b.ID) {
 		return

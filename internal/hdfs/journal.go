@@ -258,6 +258,16 @@ func (c *Cluster) applyEntry(e auditlog.Entry) error {
 		}
 		d := c.datanodes[e.Node]
 		d.State = s
+		if s == StateActive {
+			// The journal does not carry energy bookkeeping, and the
+			// checkpoint's activeSince predates intervals ActiveTime has
+			// already absorbed. Re-stamping the activation keeps the
+			// uptime invariant (ActiveTime + open interval <= now); the
+			// gap between the real transition and replay time is simply
+			// not billed as active.
+			d.activeSince = c.engine.Now()
+			d.lastHeartbeat = c.engine.Now()
+		}
 		if s == StateDown {
 			// Mirrors declareDead: staleness ends at death. The crashed
 			// flag is ground truth the journal does not carry; it stays
@@ -292,6 +302,14 @@ func (c *Cluster) applyEntry(e auditlog.Entry) error {
 			return fmt.Errorf("node %d reported block %d it does not hold", e.Node, bid)
 		}
 		d.reported[bid] = true
+
+	case auditlog.OpFedMoveIntent, auditlog.OpFedMoveCommit, auditlog.OpFedMoveTombstone:
+		// Protocol markers: no namespace mutation, but the pending-move
+		// table is durable protocol state a promoted standby resolves from.
+		if e.Path == "" || e.Dst == "" {
+			return fmt.Errorf("marker %s without src/dst", e.Op)
+		}
+		c.applyMoveMarker(e)
 
 	default:
 		return fmt.Errorf("unknown op %d", e.Op)

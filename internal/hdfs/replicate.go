@@ -122,6 +122,11 @@ func (c *Cluster) AddReplicaLimited(id BlockID, target DatanodeID, maxRate float
 			fail(fmt.Errorf("hdfs: target %s died before copy", td.Name))
 			return
 		}
+		if c.Block(id) != b { // file deleted while the command was in flight
+			settle()
+			fail(fmt.Errorf("hdfs: block %d deleted before copy", id))
+			return
+		}
 		if td.HasBlock(id) {
 			settle()
 			c.tracer.End(sp)
@@ -147,6 +152,10 @@ func (c *Cluster) AddReplicaLimited(id BlockID, target DatanodeID, maxRate float
 			settle()
 			if td.State == StateDown || td.crashed {
 				fail(fmt.Errorf("hdfs: target %s died during copy", td.Name))
+				return
+			}
+			if c.Block(id) != b {
+				fail(fmt.Errorf("hdfs: block %d deleted during copy", id))
 				return
 			}
 			c.attachReplica(b, target)

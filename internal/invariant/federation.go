@@ -1,0 +1,74 @@
+package invariant
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FederationTarget names a federated shard set for the cross-shard
+// ownership oracle.
+type FederationTarget struct {
+	// Shards are the per-shard namenode clusters, in shard-index order.
+	Shards []Lister
+	// Owner maps a path to its owning shard index (the system's router).
+	Owner func(path string) int
+	// Exempt marks protocol-internal paths (cross-shard move staging
+	// files) that may legitimately live outside their router-assigned
+	// shard while a move is in flight. Nil exempts nothing.
+	Exempt func(path string) bool
+	// Expected, when non-nil, is the model namespace: every path the
+	// workload believes exists. The oracle then also reports files visible
+	// in zero shards (lost) and files visible that the model deleted
+	// (resurrected). Nil skips completeness checking.
+	Expected map[string]bool
+}
+
+// Lister is the slice of the hdfs.Cluster surface the ownership oracle
+// needs; taking an interface keeps the oracle testable with fakes.
+type Lister interface {
+	FilePaths() []string
+}
+
+// CheckFederation asserts cross-shard namespace ownership: every
+// non-exempt path lives in exactly the shard the router assigns it, no
+// path is visible in two shards, and — when a model namespace is given —
+// no expected file is visible in zero shards. Violations are returned
+// sorted; empty means the partition is sound.
+func CheckFederation(t FederationTarget) []string {
+	var errs []string
+	seen := make(map[string]int, 256) // path -> first shard it appeared in
+	for i, shard := range t.Shards {
+		for _, p := range shard.FilePaths() {
+			if t.Exempt != nil && t.Exempt(p) {
+				continue
+			}
+			if prev, dup := seen[p]; dup {
+				errs = append(errs, fmt.Sprintf(
+					"federation: %q visible in two shards (%d and %d)", p, prev, i))
+				continue
+			}
+			seen[p] = i
+			if own := t.Owner(p); own != i {
+				errs = append(errs, fmt.Sprintf(
+					"federation: %q lives in shard %d but the router owns it to shard %d", p, i, own))
+			}
+			if t.Expected != nil && !t.Expected[p] {
+				errs = append(errs, fmt.Sprintf(
+					"federation: %q visible in shard %d but the model deleted it (resurrected)", p, i))
+			}
+		}
+	}
+	if t.Expected != nil {
+		for p := range t.Expected {
+			if !t.Expected[p] {
+				continue
+			}
+			if _, ok := seen[p]; !ok {
+				errs = append(errs, fmt.Sprintf(
+					"federation: %q expected but visible in zero shards (lost)", p))
+			}
+		}
+	}
+	sort.Strings(errs)
+	return errs
+}

@@ -1,0 +1,347 @@
+package invariant_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"erms"
+	"erms/internal/invariant"
+	"erms/internal/sweep"
+)
+
+// fakeShard is a Lister over a fixed path set.
+type fakeShard []string
+
+func (f fakeShard) FilePaths() []string { return f }
+
+func TestCheckFederationOracle(t *testing.T) {
+	owner := func(p string) int {
+		if strings.HasPrefix(p, "/s1/") {
+			return 1
+		}
+		return 0
+	}
+	exempt := func(p string) bool { return strings.HasPrefix(p, "/.fedmove/") }
+	cases := []struct {
+		name     string
+		shards   []invariant.Lister
+		expected map[string]bool
+		want     int
+		contains string
+	}{
+		{
+			name:   "clean partition",
+			shards: []invariant.Lister{fakeShard{"/a"}, fakeShard{"/s1/b"}},
+		},
+		{
+			name:     "duplicate across shards",
+			shards:   []invariant.Lister{fakeShard{"/a"}, fakeShard{"/a"}},
+			want:     1,
+			contains: "two shards",
+		},
+		{
+			name:     "wrong owner",
+			shards:   []invariant.Lister{fakeShard{"/s1/b"}, fakeShard{}},
+			want:     1,
+			contains: "router owns it to shard 1",
+		},
+		{
+			name:   "staging paths exempt",
+			shards: []invariant.Lister{fakeShard{}, fakeShard{"/.fedmove/s1/x", "/.fedmove/a"}},
+		},
+		{
+			name:     "lost file",
+			shards:   []invariant.Lister{fakeShard{}, fakeShard{}},
+			expected: map[string]bool{"/a": true},
+			want:     1,
+			contains: "zero shards",
+		},
+		{
+			name:     "resurrected file",
+			shards:   []invariant.Lister{fakeShard{"/a"}, fakeShard{}},
+			expected: map[string]bool{"/a": false},
+			want:     1,
+			contains: "resurrected",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := invariant.CheckFederation(invariant.FederationTarget{
+				Shards: c.shards, Owner: owner, Exempt: exempt, Expected: c.expected,
+			})
+			if len(got) != c.want {
+				t.Fatalf("violations = %v, want %d", got, c.want)
+			}
+			if c.want > 0 && !strings.Contains(got[0], c.contains) {
+				t.Errorf("%q does not mention %q", got[0], c.contains)
+			}
+		})
+	}
+}
+
+// TestCrossShardRenameStorm is the federation property suite: 25 seeds,
+// each interleaving random cross-shard moves — many deliberately crashed
+// between protocol steps, recovered through FailoverShard or a direct
+// ResolveMoves — with creates, reads, deletes, global node kill/restart
+// pairs, and per-shard snapshots, on a 4-shard system. After every
+// recovery and at a steady cadence the cross-shard ownership oracle
+// asserts no file is ever visible in two shards or zero shards, and each
+// shard passes the single-namenode consistency/durability oracles.
+func TestCrossShardRenameStorm(t *testing.T) {
+	var seeds []int64
+	if *stormSeed != 0 {
+		seeds = []int64{*stormSeed}
+	} else {
+		for s := int64(1); s <= 25; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	grid := sweep.Grid{Seeds: seeds}
+	points := grid.Points()
+	type outcome struct {
+		checks, moves, crashes int
+		violations             []string
+	}
+	outcomes := make([]outcome, len(points))
+	tasks := make([]sweep.Task, len(points))
+	for i, p := range points {
+		i, p := i, p
+		tasks[i] = sweep.Task{
+			Name: grid.Label(p),
+			Run: func(ctx context.Context) (string, error) {
+				checks, moves, crashes, viols, err := runFedStorm(p.Seed)
+				if err != nil {
+					return "", err
+				}
+				outcomes[i] = outcome{checks: checks, moves: moves, crashes: crashes, violations: viols}
+				return fmt.Sprintf("seed=%d: %d checks, %d moves (%d crashed), %d violations\n",
+					p.Seed, checks, moves, crashes, len(viols)), nil
+			},
+		}
+	}
+	results, err := sweep.Run(context.Background(), sweep.Options{}, tasks)
+	if err != nil {
+		t.Fatalf("federated storm grid: %v", err)
+	}
+	t.Logf("federated storm grid:\n%s", sweep.Merged(results))
+	totalMoves, totalCrashes := 0, 0
+	for i, p := range points {
+		o := outcomes[i]
+		totalMoves += o.moves
+		totalCrashes += o.crashes
+		if o.checks < 10 {
+			t.Errorf("seed %d: only %d oracle sweeps", p.Seed, o.checks)
+		}
+		for _, v := range o.violations {
+			t.Errorf("seed %d: %s", p.Seed, v)
+		}
+		if len(o.violations) > 0 || o.checks < 10 {
+			t.Logf("reproduce: go test ./internal/invariant/ -run TestCrossShardRenameStorm -storm-seed=%d -v", p.Seed)
+		}
+	}
+	// The grid as a whole must actually exercise the crash paths.
+	if len(seeds) > 1 && (totalMoves < 50 || totalCrashes < 20) {
+		t.Errorf("grid ran %d moves / %d crashes; the storm is not stressing the protocol", totalMoves, totalCrashes)
+	}
+}
+
+// runFedStorm executes one seed of the cross-shard storm on a 4-shard
+// federation and returns the oracle outcome. Moves run atomically inside
+// one event closure — protocol steps, the induced crash, and recovery —
+// so the oracle never observes a half-stepped move from outside; the
+// model map tracks what the workload believes exists (false = deleted,
+// for resurrection checking).
+func runFedStorm(seed int64) (checks, moves, crashes int, violations []string, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	opts := erms.Options{Shards: 4, EnableJournal: true}
+	vanilla := seed%5 == 0
+	if vanilla {
+		opts.DisableERMS = true
+	}
+	sys := erms.NewSystem(opts)
+	e := sys.Engine()
+	r := sys.Router()
+	const horizon = 30 * time.Minute
+
+	model := map[string]bool{}
+	record := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+	check := func() {
+		checks++
+		var shards []invariant.Lister
+		for i := 0; i < sys.Shards(); i++ {
+			shards = append(shards, sys.Shard(i).HDFS())
+		}
+		for _, v := range invariant.CheckFederation(invariant.FederationTarget{
+			Shards: shards,
+			Owner:  r.Shard,
+			Exempt: func(p string) bool { return strings.HasPrefix(p, erms.MoveStagePrefix+"/") },
+			// Copy: CheckFederation must not observe later mutations.
+			Expected: model,
+		}) {
+			record("%s", v)
+		}
+		for i := 0; i < sys.Shards(); i++ {
+			for _, v := range invariant.Check(invariant.Target{
+				Cluster: sys.Shard(i).HDFS(),
+				Manager: sys.Shard(i).Manager(),
+				// Vanilla federations have no repair agent; kills legitimately
+				// erode replicas there.
+				AllowDataLoss: vanilla,
+			}) {
+				record("shard %d: %s", i, v)
+			}
+		}
+	}
+
+	nFiles := 16 + rng.Intn(12)
+	paths := make([]string, 0, nFiles)
+	for i := 0; i < nFiles; i++ {
+		p := fmt.Sprintf("/fed/f%02d", i)
+		size := (32 + float64(rng.Intn(128))) * erms.MB
+		if cerr := sys.CreateFile(p, size); cerr != nil {
+			return 0, 0, 0, nil, fmt.Errorf("seed %d: create %s: %w", seed, p, cerr)
+		}
+		model[p] = true
+		paths = append(paths, p)
+	}
+	if serr := sys.SnapshotShards(); serr != nil {
+		return 0, 0, 0, nil, fmt.Errorf("seed %d: snapshot: %w", seed, serr)
+	}
+
+	// doMove runs one cross-shard move, possibly crashing it between two
+	// protocol steps and recovering via a shard failover or a direct
+	// resolve; the model is updated to what the recovery contract promises
+	// (rolled back before the commit marker, rolled forward from it on).
+	moveSeq := 0
+	doMove := func(src string, steps int, viaFailover, failDst bool) {
+		if !model[src] {
+			return
+		}
+		// Probe numbered destinations until one crosses shards. The suffix
+		// must vary — appending one repeated character to an FNV-1a hash
+		// walks h -> 3h (mod 4), which can never leave shards 0 or 2.
+		var dst string
+		for n := 0; ; n++ {
+			dst = fmt.Sprintf("/fed/mv%03d-%d", moveSeq, n)
+			if r.Shard(dst) != r.Shard(src) {
+				break
+			}
+		}
+		moveSeq++
+		mv, merr := sys.StartMove(src, dst)
+		if merr != nil {
+			return // a concurrent delete won the race; nothing in flight
+		}
+		moves++
+		done := 0
+		for ; done < steps; done++ {
+			if serr := mv.Step(); serr != nil {
+				record("move %s -> %s step %d: %v", src, dst, done, serr)
+				break
+			}
+		}
+		if mv.Done() {
+			model[src], model[dst] = false, true
+			return
+		}
+		crashes++
+		committed := done >= 3
+		if viaFailover {
+			idx := r.Shard(src)
+			if failDst {
+				idx = r.Shard(dst)
+			}
+			if ferr := sys.FailoverShard(idx); ferr != nil {
+				record("failover shard %d mid-move: %v", idx, ferr)
+				return
+			}
+		} else if _, rerr := sys.ResolveMoves(); rerr != nil {
+			record("resolve %s -> %s: %v", src, dst, rerr)
+			return
+		}
+		if committed {
+			model[src], model[dst] = false, true
+		}
+		check()
+	}
+
+	newSeq := 0
+	for i := 0; i < 110; i++ {
+		at := time.Duration(rng.Int63n(int64(horizon - 4*time.Minute)))
+		switch rng.Intn(12) {
+		case 0, 1, 2: // cross-shard move; 1-4 steps crash it, 5 completes
+			src := paths[rng.Intn(len(paths))]
+			steps := 1 + rng.Intn(5)
+			viaFailover, failDst := rng.Intn(2) == 0, rng.Intn(2) == 0
+			e.Schedule(at, func() { doMove(src, steps, viaFailover, failDst) })
+		case 3: // delete
+			p := paths[rng.Intn(len(paths))]
+			e.Schedule(at, func() {
+				if model[p] {
+					if derr := sys.Delete(p); derr == nil {
+						model[p] = false
+					}
+				}
+			})
+		case 4: // create a fresh file
+			p := fmt.Sprintf("/fed/n%03d", newSeq)
+			newSeq++
+			size := (32 + float64(rng.Intn(96))) * erms.MB
+			e.Schedule(at, func() {
+				if cerr := sys.CreateFile(p, size); cerr == nil {
+					model[p] = true
+				}
+			})
+		case 5: // refresh every shard's failover base
+			e.Schedule(at, func() {
+				if serr := sys.SnapshotShards(); serr != nil {
+					record("snapshot: %v", serr)
+				}
+			})
+		case 6: // fail over a quiescent shard (no move in flight)
+			idx := rng.Intn(4)
+			e.Schedule(at, func() {
+				if ferr := sys.FailoverShard(idx); ferr != nil {
+					record("failover shard %d: %v", idx, ferr)
+				}
+				check()
+			})
+		default: // read from a random client
+			p := paths[rng.Intn(len(paths))]
+			client := rng.Intn(18)
+			e.Schedule(at, func() {
+				if model[p] {
+					sys.Read(client, p, nil)
+				}
+			})
+		}
+	}
+
+	// Global kill/restart pairs, sequentially spaced so re-replication can
+	// keep up (see TestRandomizedWorkloadStorm).
+	at := time.Duration(rng.Int63n(int64(2 * time.Minute)))
+	for at < horizon-3*time.Minute {
+		id := rng.Intn(18)
+		down := 15*time.Second + time.Duration(rng.Int63n(int64(45*time.Second)))
+		killAt, restartAt := at, at+down
+		e.Schedule(killAt, func() { sys.KillNode(id) })
+		e.Schedule(restartAt, func() { sys.RestartNode(id) })
+		at = restartAt + 2*time.Minute + time.Duration(rng.Int63n(int64(time.Minute)))
+	}
+
+	// Steady oracle cadence on top of the per-recovery checks.
+	for tick := 2 * time.Minute; tick < horizon; tick += 2 * time.Minute {
+		e.Schedule(tick, func() { check() })
+	}
+
+	e.RunUntil(horizon)
+	sys.Stop()
+	check()
+	return checks, moves, crashes, violations, nil
+}
