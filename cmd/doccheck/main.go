@@ -1,20 +1,26 @@
-// Command doccheck enforces the repo's documentation floor: every Go
-// package under the given roots must carry a package godoc comment (the
-// `// Package foo ...` or `// Command foo ...` block above the package
-// clause) in at least one of its non-test files. `make lint` runs it over
-// the whole module, so a new package without a doc comment fails CI the
-// same way an unformatted file does.
+// Command doccheck enforces the repo's documentation floor, in two tiers:
+// every Go package under the given roots must carry a package godoc
+// comment (the `// Package foo ...` or `// Command foo ...` block above
+// the package clause) in at least one of its non-test files, and the
+// directories named by -exported must additionally document every
+// exported top-level identifier — types, functions, methods on exported
+// receivers, and each exported const/var (a doc comment on the enclosing
+// group counts for all its names). `make lint` runs it over the whole
+// module with the public-surface packages held to the stricter tier, so
+// an undocumented export fails CI the same way an unformatted file does.
 //
 // Usage:
 //
-//	doccheck [root ...]      # default: .
+//	doccheck [-exported dir,dir,...] [root ...]      # default root: .
 //
-// Exit status is non-zero if any package is undocumented; each offender
-// is printed as a relative directory path.
+// Exit status is non-zero on any violation; offenders print as relative
+// paths (package misses) or file:line (export misses).
 package main
 
 import (
+	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -28,7 +34,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("doccheck: ")
-	roots := os.Args[1:]
+	exported := flag.String("exported", "", "comma-separated directories whose exported identifiers must all be documented")
+	flag.Parse()
+	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
@@ -36,11 +44,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(missing) > 0 {
-		for _, dir := range missing {
-			fmt.Printf("%s: package has no doc comment\n", dir)
+	for _, dir := range missing {
+		fmt.Printf("%s: package has no doc comment\n", dir)
+	}
+	var undoc []string
+	if *exported != "" {
+		for _, dir := range strings.Split(*exported, ",") {
+			v, err := checkExported(strings.TrimSpace(dir))
+			if err != nil {
+				log.Fatal(err)
+			}
+			undoc = append(undoc, v...)
 		}
-		log.Fatalf("%d undocumented package(s)", len(missing))
+		for _, v := range undoc {
+			fmt.Println(v)
+		}
+	}
+	if n := len(missing) + len(undoc); n > 0 {
+		log.Fatalf("%d documentation violation(s)", n)
 	}
 }
 
@@ -109,4 +130,100 @@ func dirHasPackageDoc(dir string) (documented, hasGo bool, err error) {
 		}
 	}
 	return false, hasGo, nil
+}
+
+// checkExported parses every non-test Go file directly in dir (not
+// recursively) and returns one "file:line: ..." violation per exported
+// top-level identifier with no doc comment.
+func checkExported(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			out = append(out, checkDecl(fset, decl)...)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// checkDecl returns the violations for one top-level declaration.
+func checkDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	complain := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		if recv := receiverName(d); recv != "" {
+			if !ast.IsExported(recv) {
+				return nil // method on an unexported type: not public surface
+			}
+			complain(d.Pos(), "method", recv+"."+d.Name.Name)
+		} else {
+			complain(d.Pos(), "function", d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
+					complain(sp.Pos(), "type", sp.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// A doc comment on the const/var group covers every name in
+				// it — the idiom for iota blocks and related variables.
+				if d.Doc != nil || sp.Doc != nil || sp.Comment != nil {
+					continue
+				}
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				for _, n := range sp.Names {
+					if n.IsExported() {
+						complain(n.Pos(), kind, n.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverName extracts the base type name of a method receiver ("" for
+// plain functions).
+func receiverName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
 }

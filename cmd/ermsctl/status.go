@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"erms"
+	"erms/internal/core"
 	"erms/internal/federation"
 )
 
@@ -63,4 +64,4 @@ func statusReport(sys *erms.System) string {
 
 // repairTiers names the repair pipeline's admission tiers in priority
 // order; indexes match Manager.RepairQueueDepths.
-var repairTiers = [...]string{"last-replica", "below-half", "below-target", "decomm-only"}
+var repairTiers = core.RepairTierNames()

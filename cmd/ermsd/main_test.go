@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestErmsdSmoke is the real-clock end-to-end check: build ermsd, start it
+// on an ephemeral port, post an op batch over real HTTP, scrape /metrics
+// and /v1/status while the pacer pump advances virtual time against the
+// actual wall clock, then shut the daemon down. Everything else in the
+// suite runs on simulated clocks; this is the one test that proves the
+// service boots and breathes in real time.
+func TestErmsdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon")
+	}
+	bin := filepath.Join(t.TempDir(), "ermsd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building ermsd: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-journal")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting ermsd: %v", err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	// The daemon logs its bound address; ephemeral ports make parallel CI
+	// safe.
+	addrRe := regexp.MustCompile(`serving on http://([0-9.:]+)`)
+	var base string
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(30 * time.Second)
+	lineCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			select {
+			case lineCh <- sc.Text():
+			default:
+			}
+		}
+	}()
+	for base == "" {
+		select {
+		case line := <-lineCh:
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				base = "http://" + m[1]
+			}
+		case <-deadline:
+			t.Fatal("ermsd never announced its address")
+		}
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteByte('\n')
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	// Ingest a small batch.
+	batch := `{"ops":[
+		{"op":"create","path":"/smoke/a","size_mb":192},
+		{"op":"create","path":"/smoke/b","size_mb":64},
+		{"op":"read","path":"/smoke/a","client":3}]}`
+	resp, err := http.Post(base+"/v1/ops", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatalf("POST /v1/ops: %v", err)
+	}
+	var ops struct {
+		Accepted int `json:"accepted"`
+		Failed   int `json:"failed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ops); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ops.Accepted != 3 || ops.Failed != 0 {
+		t.Fatalf("ops: code %d, %+v", resp.StatusCode, ops)
+	}
+
+	// Give the pump a moment of real time, then confirm virtual time moved
+	// and the namespace holds the files.
+	var status struct {
+		Mode       string  `json:"mode"`
+		NowSeconds float64 `json:"now_seconds"`
+		Files      int     `json:"files"`
+	}
+	okAt := time.Now().Add(10 * time.Second)
+	for {
+		code, body := get("/v1/status")
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &status); err != nil {
+			t.Fatal(err)
+		}
+		if status.Files == 2 && status.NowSeconds > 0 {
+			break
+		}
+		if time.Now().After(okAt) {
+			t.Fatalf("daemon never settled: %+v", status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if status.Mode != "service" {
+		t.Fatalf("mode: %q", status.Mode)
+	}
+
+	// Scrape Prometheus text.
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{"hdfs_files 2", "# TYPE"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Drain, confirm ingestion stops, then stop the daemon's activity.
+	for _, step := range []struct {
+		path string
+		want string
+	}{
+		{"/v1/drain", `"state": "draining"`},
+		{"/v1/stop", `"state": "stopped"`},
+	} {
+		resp, err := http.Post(base+step.path, "application/json", nil)
+		if err != nil {
+			t.Fatalf("POST %s: %v", step.path, err)
+		}
+		var b strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(b.String(), step.want) {
+			t.Fatalf("%s: code %d body %s", step.path, resp.StatusCode, b.String())
+		}
+	}
+}

@@ -89,6 +89,16 @@ type (
 	HeartbeatConfig = hdfs.HeartbeatConfig
 )
 
+// WallClock is the wall-time seam for service mode: Now/After/Sleep,
+// with a real implementation backed by package time and a simulated one
+// backed by the discrete-event engine (see Options.Clock and sim.WallClock).
+type WallClock = sim.WallClock
+
+// RealClock returns the production wall clock backed by package time.
+// A System built with Options{Clock: RealClock()} runs in service mode on
+// real time — the deployment mode of cmd/ermsd.
+func RealClock() WallClock { return sim.Real() }
+
 // DefaultThresholds returns the paper-calibrated judge thresholds.
 func DefaultThresholds() Thresholds { return core.DefaultThresholds() }
 
@@ -147,6 +157,16 @@ type Options struct {
 	// take defaults; ignored when DisableERMS is set (repairs are the
 	// manager's job).
 	Repair RepairConfig
+	// Clock, when non-nil, puts the System in service mode: virtual time
+	// is paced against this wall clock instead of being driven by RunFor.
+	// Pass RealClock() to track real time (what cmd/ermsd does) or a
+	// sim.SimClock to run the identical service-mode code path
+	// deterministically under test. The engine stays the single scheduling
+	// authority either way — the clock only decides how fast CatchUp lets
+	// it advance — so a sim-clocked service is byte-identical to a plain
+	// simulation (see TestClockSeamEquivalence). Nil (the default) keeps
+	// the classic pure-simulation behaviour.
+	Clock WallClock
 	// Shards federates the namespace across N namenode shards (see
 	// federation.go): a pinned hash-of-path router assigns every file to
 	// the shard owning its block map, under-replication set, journal
@@ -173,6 +193,11 @@ type System struct {
 	tracer   *trace.Tracer
 	registry *metrics.Registry
 
+	// Service-mode pacing state (see Options.Clock): nil wall means the
+	// classic pure-simulation mode where only RunFor advances time.
+	wall      WallClock
+	wallStart time.Time
+
 	// Federation state; nil/zero for a classic single-namenode system.
 	// A federated facade has cluster and manager nil (every access routes
 	// through shards); mr/tracer/registry mirror shard 0's.
@@ -184,14 +209,20 @@ type System struct {
 
 // NewSystem builds a deployment from opts.
 func NewSystem(opts Options) *System {
+	var s *System
 	if opts.Shards >= 1 {
-		return newFederated(opts)
+		s = newFederated(opts)
+	} else {
+		s = newBase(opts)
+		if opts.EnableJournal {
+			s.cluster.SetJournal(auditlog.NewJournal())
+		}
+		s.attachManager(opts)
 	}
-	s := newBase(opts)
-	if opts.EnableJournal {
-		s.cluster.SetJournal(auditlog.NewJournal())
+	if opts.Clock != nil {
+		s.wall = opts.Clock
+		s.wallStart = s.wall.Now()
 	}
-	s.attachManager(opts)
 	return s
 }
 
@@ -304,6 +335,28 @@ func (s *System) RunFor(d time.Duration) { s.engine.RunFor(d) }
 // RunUntil advances the simulation to absolute virtual time t.
 func (s *System) RunUntil(t time.Duration) { s.engine.RunUntil(t) }
 
+// Clock returns the wall clock the system is paced against in service
+// mode, or nil in pure-simulation mode (see Options.Clock).
+func (s *System) Clock() WallClock { return s.wall }
+
+// CatchUp advances virtual time to the wall-clock time elapsed since the
+// system was built, firing every event due in between, and returns the
+// new virtual now. In pure-simulation mode (Options.Clock nil) it is a
+// read-only no-op. CatchUp is the whole of service-mode pacing: the HTTP
+// control plane calls it before every request and from a background pump
+// (see internal/server), so heartbeats, judge windows, and repairs fire
+// at their wall-clock instants. Like every engine entry point it is not
+// goroutine-safe — service mode serializes callers externally.
+func (s *System) CatchUp() time.Duration {
+	if s.wall == nil {
+		return s.engine.Now()
+	}
+	if target := s.wall.Now().Sub(s.wallStart); target > s.engine.Now() {
+		s.engine.RunUntil(target)
+	}
+	return s.engine.Now()
+}
+
 // CreateFile adds a file of the given size (bytes) at the default
 // replication, placing the first replica on node 0's rack neighborhood.
 func (s *System) CreateFile(path string, size float64) error {
@@ -321,6 +374,14 @@ func (s *System) CreateFileOn(path string, size float64, repl, writer int) error
 // Read streams the file to client node (asynchronously); done may be nil.
 func (s *System) Read(client int, path string, done func(*ReadResult)) {
 	s.shardFor(path).cluster.ReadFile(topology.NodeID(client), path, done)
+}
+
+// ReadRange streams bytes [offset, offset+length) of the file to the
+// client node (asynchronously); length 0 means read to end-of-file, and
+// done may be nil. Partial reads count toward block heat like whole ones
+// and drive the judge's ε/M_M axes (DESIGN.md §14).
+func (s *System) ReadRange(client int, path string, offset, length float64, done func(*ReadResult)) {
+	s.shardFor(path).cluster.ReadRange(topology.NodeID(client), path, offset, length, done)
 }
 
 // Write streams a new file into the cluster through a real HDFS-style

@@ -150,7 +150,7 @@ func (e LogEvent) String() string {
 
 // Scheduler is the negotiator plus queue.
 type Scheduler struct {
-	engine    *sim.Engine
+	clock     sim.Clock
 	machines  map[string]*Machine
 	order     []string // machine registration order, for determinism
 	queue     []*Job
@@ -194,8 +194,8 @@ type Config struct {
 	IdleProbe func() bool
 }
 
-// New creates a scheduler running on the simulation engine.
-func New(engine *sim.Engine, cfg Config) *Scheduler {
+// New creates a scheduler scheduling through the given clock.
+func New(clock sim.Clock, cfg Config) *Scheduler {
 	if cfg.NegotiationPeriod <= 0 {
 		cfg.NegotiationPeriod = 5 * time.Second
 	}
@@ -203,12 +203,12 @@ func New(engine *sim.Engine, cfg Config) *Scheduler {
 		cfg.IdleProbe = func() bool { return true }
 	}
 	s := &Scheduler{
-		engine:    engine,
+		clock:     clock,
 		machines:  make(map[string]*Machine),
 		byID:      make(map[int]*Job),
 		idleProbe: cfg.IdleProbe,
 	}
-	s.ticker = sim.NewTicker(engine, cfg.NegotiationPeriod, func(time.Duration) {
+	s.ticker = sim.NewTicker(clock, cfg.NegotiationPeriod, func(time.Duration) {
 		s.negotiate()
 	})
 	return s
@@ -264,7 +264,7 @@ func (s *Scheduler) Submit(j *Job) *Job {
 	s.nextID++
 	j.ID = s.nextID
 	j.State = StatePending
-	j.SubmitTime = s.engine.Now()
+	j.SubmitTime = s.clock.Now()
 	s.byID[j.ID] = j
 	s.queue = append(s.queue, j)
 	if tr := s.tracer; tr.Enabled() {
@@ -287,7 +287,7 @@ func (s *Scheduler) Abort(j *Job) bool {
 		return false
 	}
 	j.State = StateAborted
-	j.EndTime = s.engine.Now()
+	j.EndTime = s.clock.Now()
 	s.logEvent(j, EventAbort, "")
 	s.notify(j)
 	return true
@@ -313,7 +313,7 @@ func (s *Scheduler) kickSoon() {
 		return
 	}
 	s.kick = true
-	s.engine.Schedule(0, func() {
+	s.clock.Schedule(0, func() {
 		s.kick = false
 		s.negotiate()
 	})
@@ -393,7 +393,7 @@ func (s *Scheduler) bestMachine(j *Job) *Machine {
 // still panics — that is a modeling bug).
 func (s *Scheduler) start(j *Job, m *Machine) {
 	j.State = StateRunning
-	j.StartTime = s.engine.Now()
+	j.StartTime = s.clock.Now()
 	j.MachineID = m.Name
 	j.Attempt++
 	m.busy++
@@ -415,7 +415,7 @@ func (s *Scheduler) start(j *Job, m *Machine) {
 		m.busy--
 		s.running--
 		if watchdog != nil {
-			s.engine.Cancel(watchdog)
+			s.clock.Cancel(watchdog)
 			watchdog = nil
 		}
 	}
@@ -429,7 +429,7 @@ func (s *Scheduler) start(j *Job, m *Machine) {
 		finished = true
 		reclaim()
 		if err == nil {
-			j.EndTime = s.engine.Now()
+			j.EndTime = s.clock.Now()
 			j.State = StateCompleted
 			s.logEvent(j, EventTerminate, "ok")
 			s.tracer.End(attemptSpan)
@@ -444,7 +444,7 @@ func (s *Scheduler) start(j *Job, m *Machine) {
 		s.afterFailure(j, err)
 	}
 	if t := j.Retry.Timeout; t > 0 {
-		watchdog = s.engine.Schedule(t, func() {
+		watchdog = s.clock.Schedule(t, func() {
 			if finished {
 				return
 			}
@@ -474,7 +474,7 @@ func (s *Scheduler) afterFailure(j *Job, err error) {
 		j.State = StatePending
 		s.logEvent(j, EventRetry,
 			fmt.Sprintf("attempt %d failed (%v); retry in %s", j.Attempt, err, backoff))
-		s.engine.Schedule(backoff, func() {
+		s.clock.Schedule(backoff, func() {
 			if j.State != StatePending {
 				return // aborted while backing off
 			}
@@ -485,7 +485,7 @@ func (s *Scheduler) afterFailure(j *Job, err error) {
 		})
 		return
 	}
-	j.EndTime = s.engine.Now()
+	j.EndTime = s.clock.Now()
 	j.State = StateFailed
 	s.logEvent(j, EventFail, err.Error())
 	if j.Rollback != nil {
@@ -527,7 +527,7 @@ func (s *Scheduler) Jobs() []*Job {
 
 func (s *Scheduler) logEvent(j *Job, kind EventKind, detail string) {
 	s.log = append(s.log, LogEvent{
-		Time: s.engine.Now(), JobID: j.ID, JobName: j.Name, Kind: kind, Detail: detail,
+		Time: s.clock.Now(), JobID: j.ID, JobName: j.Name, Kind: kind, Detail: detail,
 	})
 	switch kind {
 	case EventSubmit:

@@ -28,6 +28,7 @@ const (
 	ActionDecode
 )
 
+// String names the action for logs and reports.
 func (a Action) String() string {
 	switch a {
 	case ActionIncrease:
@@ -53,6 +54,7 @@ const (
 	Cold
 )
 
+// String names the temperature class for logs and reports.
 func (d DataType) String() string {
 	switch d {
 	case Hot:
@@ -78,6 +80,7 @@ type Decision struct {
 	Reason  string
 }
 
+// String renders the decision as one aligned report line.
 func (d Decision) String() string {
 	return fmt.Sprintf("%8.1fs %-8s %-9s %s -> r=%d (formula %d: %s)",
 		d.Time.Seconds(), d.Class, d.Action, d.Path, d.TargetRepl, d.Formula, d.Reason)
@@ -134,7 +137,7 @@ func NewJudge(cluster *hdfs.Cluster, th Thresholds) *Judge {
 	if th.Predictive {
 		j.predictor = NewPredictor(0, 0)
 	}
-	j.engine = cep.New(func() time.Duration { return cluster.Engine().Now() })
+	j.engine = cep.New(func() time.Duration { return cluster.Clock().Now() })
 	j.engine.SetTracer(cluster.Tracer())
 	w := fmt.Sprintf("%d s", int(th.Window.Seconds()))
 	j.fileStmt = j.engine.MustCompile(
@@ -227,7 +230,7 @@ func (j *Judge) optimalReplication(nd float64) int {
 // Evaluate runs the paper's judging pass over the current window and
 // returns the decisions, deterministically ordered by path.
 func (j *Judge) Evaluate() []Decision {
-	now := j.cluster.Engine().Now()
+	now := j.cluster.Clock().Now()
 	var out []Decision
 
 	// Collect window aggregates. EachRow streams typed columns straight off

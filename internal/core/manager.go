@@ -183,7 +183,7 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 	if cfg.Repair.BandwidthMBps > 0 {
 		// Burst of one block: a copy can always start promptly, but sustained
 		// repair traffic is paced to the budget.
-		m.bucket = netsim.NewTokenBucket(cluster.Engine(),
+		m.bucket = netsim.NewTokenBucket(cluster.Clock(),
 			cfg.Repair.BandwidthMBps*topology.MB, cluster.Config().BlockSize)
 	}
 	m.ctr = newManagerCounters(m.reg)
@@ -204,7 +204,7 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 	m.judge.CEP().RegisterMetrics(m.reg)
 	cluster.SetPlacementPolicy(NewPlacement(func(id hdfs.DatanodeID) bool { return m.pool[id] }))
 
-	m.sched = condor.New(cluster.Engine(), condor.Config{
+	m.sched = condor.New(cluster.Clock(), condor.Config{
 		NegotiationPeriod: cfg.NegotiationPeriod,
 		// "run the decreasing replication tasks and erasure encoding tasks
 		// when the HDFS cluster is idle."
@@ -216,7 +216,7 @@ func New(cluster *hdfs.Cluster, cfg Config) *Manager {
 		m.sched.Advertise(d.Name, m.machineAd(d), 2)
 	}
 
-	m.ticker = sim.NewTicker(cluster.Engine(), cfg.JudgePeriod,
+	m.ticker = sim.NewTicker(cluster.Clock(), cfg.JudgePeriod,
 		func(time.Duration) { m.RunJudgeOnce() })
 
 	// Datanode failures trigger an immediate repair pass: lost blocks of
@@ -259,7 +259,7 @@ func (m *Manager) armRepairRescan() {
 		return
 	}
 	m.rescanArmed = true
-	m.cluster.Engine().Schedule(m.cfg.RepairRescanDelay, func() {
+	m.cluster.Clock().Schedule(m.cfg.RepairRescanDelay, func() {
 		m.rescanArmed = false
 		m.scheduleRepairs()
 	})
@@ -508,7 +508,7 @@ type EnergyReport struct {
 
 // Energy computes the report as of now.
 func (m *Manager) Energy() EnergyReport {
-	now := m.cluster.Engine().Now()
+	now := m.cluster.Clock().Now()
 	var rep EnergyReport
 	for id := range m.pool {
 		rep.PoolNodes++

@@ -37,6 +37,14 @@ const (
 	numRepairTiers
 )
 
+// RepairTierNames names the repair tiers in admission-priority order;
+// indexes match RepairQueueDepths and the Tier* constants. Shared by
+// every surface that renders queue depths (ermsctl status, the /v1/status
+// endpoint) so the labels cannot drift.
+func RepairTierNames() [numRepairTiers]string {
+	return [numRepairTiers]string{"last-replica", "below-half", "below-target", "decomm-only"}
+}
+
 // RepairConfig throttles the repair pipeline. The zero value gets
 // defaults; -1 disables the corresponding cap.
 type RepairConfig struct {
@@ -165,7 +173,7 @@ func (m *Manager) submitRepair(bid hdfs.BlockID, tier int) {
 	m.repairing[bid] = true
 	m.ctr.repairs.Inc()
 	if _, ok := m.repairStart[bid]; !ok {
-		m.repairStart[bid] = m.cluster.Engine().Now()
+		m.repairStart[bid] = m.cluster.Clock().Now()
 	}
 	var job *condor.Job
 	job = &condor.Job{
@@ -219,7 +227,7 @@ func (m *Manager) submitRepair(bid hdfs.BlockID, tier int) {
 			delete(m.repairing, bid)
 			if j.State == condor.StateCompleted {
 				if start, ok := m.repairStart[bid]; ok {
-					m.ttr.Add((m.cluster.Engine().Now() - start).Seconds())
+					m.ttr.Add((m.cluster.Clock().Now() - start).Seconds())
 					delete(m.repairStart, bid)
 				}
 				if m.corruptPending[bid] {

@@ -22,6 +22,7 @@ const (
 	ActiveStandby
 )
 
+// String names the storage model for table headers.
 func (m StorageModel) String() string {
 	if m == AllActive {
 		return "all-active"

@@ -4,12 +4,13 @@ import (
 	"testing"
 	"time"
 
+	"erms/internal/sim"
 	"erms/internal/topology"
 )
 
 func TestClusterAccessors(t *testing.T) {
 	e, c := newCluster(t, 16, 17)
-	if c.Engine() != e || c.Fabric() == nil || c.Topology() == nil {
+	if c.Clock() != sim.Clock(e) || c.Fabric() == nil || c.Topology() == nil {
 		t.Fatal("accessors nil")
 	}
 	if c.NumDatanodes() != 18 {

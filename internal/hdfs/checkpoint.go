@@ -205,7 +205,7 @@ func (c *Cluster) WriteCheckpoint(w io.Writer) error {
 	cw.w.WriteString(checkpointMagic)
 	cw.uvarint(CheckpointVersion)
 	cw.fixed64(c.ConfigDigest())
-	cw.uvarint(uint64(c.engine.Now()))
+	cw.uvarint(uint64(c.clock.Now()))
 	cw.uvarint(c.journalPos())
 	cw.uvarint(uint64(c.nextBlock))
 	cw.uvarint(uint64(len(c.fileByID)))
@@ -397,14 +397,14 @@ func (c *Cluster) RestoreCheckpoint(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	if c.engine.Now() > st.now {
-		return fmt.Errorf("hdfs: engine already at %v, past checkpoint time %v", c.engine.Now(), st.now)
+	if c.clock.Now() > st.now {
+		return fmt.Errorf("hdfs: engine already at %v, past checkpoint time %v", c.clock.Now(), st.now)
 	}
 	// Advance the clock first: pending housekeeping events (the heartbeat
 	// ticker) fire over the still-pristine cluster, which keeps them
 	// harmless AND keeps the ticker in the same absolute phase as a
 	// cluster that ran the interval for real.
-	c.engine.RunUntil(st.now)
+	c.clock.RunUntil(st.now)
 	c.commitCheckpoint(st)
 	// A freshly restored namenode does not yet know the cluster's health
 	// (HDFS starts in safe mode until block reports arrive): when the guard
@@ -432,8 +432,8 @@ func (c *Cluster) RestoreCheckpointInPlace(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	if c.engine.Now() < st.now {
-		c.engine.RunUntil(st.now)
+	if c.clock.Now() < st.now {
+		c.clock.RunUntil(st.now)
 	}
 	c.commitCheckpoint(st)
 	if c.cfg.SafeMode.Enabled {

@@ -342,7 +342,7 @@ type BlockReadEvent struct {
 
 // Cluster is the simulated HDFS deployment: namenode state plus datanodes.
 type Cluster struct {
-	engine *sim.Engine
+	clock  sim.Clock
 	topo   *topology.Topology
 	fabric *netsim.Fabric
 	cfg    Config
@@ -425,16 +425,20 @@ type Cluster struct {
 	tracer *trace.Tracer
 }
 
-// New builds a cluster with one datanode per topology node.
-func New(engine *sim.Engine, cfg Config) *Cluster {
+// New builds a cluster with one datanode per topology node. All of the
+// cluster's timers — heartbeats, the safe-mode monitor, the scrubber,
+// replication command latency — schedule through clock, the seam that
+// lets the same cluster run on pure simulated time or paced against a
+// wall clock in service mode.
+func New(clock sim.Clock, cfg Config) *Cluster {
 	if cfg.Topology == nil {
 		panic("hdfs: Config.Topology is required")
 	}
 	cfg.applyDefaults()
 	c := &Cluster{
-		engine:      engine,
+		clock:       clock,
 		topo:        cfg.Topology,
-		fabric:      netsim.New(engine, cfg.Topology),
+		fabric:      netsim.New(clock, cfg.Topology),
 		cfg:         cfg,
 		files:       make(map[string]*INode),
 		underSet:    make(map[BlockID]struct{}),
@@ -463,18 +467,19 @@ func New(engine *sim.Engine, cfg Config) *Cluster {
 		c.reindexNode(d)
 	}
 	if cfg.Heartbeat.Enabled {
-		sim.NewTicker(engine, c.cfg.Heartbeat.Interval, c.heartbeatTick)
+		sim.NewTicker(clock, c.cfg.Heartbeat.Interval, c.heartbeatTick)
 	}
 	c.epoch = 1
 	c.healthySince = -1
 	if cfg.SafeMode.Enabled {
-		sim.NewTicker(engine, c.cfg.SafeMode.CheckInterval, c.safeModeTick)
+		sim.NewTicker(clock, c.cfg.SafeMode.CheckInterval, c.safeModeTick)
 	}
 	return c
 }
 
-// Engine returns the simulation engine the cluster runs on.
-func (c *Cluster) Engine() *sim.Engine { return c.engine }
+// Clock returns the scheduling clock the cluster runs on — the seam every
+// timer goes through (see sim.Clock).
+func (c *Cluster) Clock() sim.Clock { return c.clock }
 
 // Topology returns the physical layout.
 func (c *Cluster) Topology() *topology.Topology { return c.topo }
@@ -779,7 +784,7 @@ func (c *Cluster) CreateFile(path string, size float64, repl int, writer topolog
 		Path:       path,
 		Size:       size,
 		TargetRepl: repl,
-		CreatedAt:  c.engine.Now(),
+		CreatedAt:  c.clock.Now(),
 	}
 	c.registerFile(f)
 	nBlocks := int(size / c.cfg.BlockSize)
@@ -804,7 +809,7 @@ func (c *Cluster) CreateFile(path string, size float64, repl int, writer topolog
 		}
 	}
 	c.audit.Append(auditlog.Record{
-		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		Time: c.clock.Now(), Allowed: true, UGI: "hadoop",
 		IP: c.clientIP(writer), Cmd: auditlog.CmdCreate, Src: path,
 	})
 	return f, nil
@@ -849,7 +854,7 @@ func (c *Cluster) DeleteFile(path string) error {
 	c.pathsCache = nil
 	c.jlog(auditlog.Entry{Op: auditlog.OpFileDrop, File: f.id, Path: path})
 	c.audit.Append(auditlog.Record{
-		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		Time: c.clock.Now(), Allowed: true, UGI: "hadoop",
 		IP: "10.0.0.1", Cmd: auditlog.CmdDelete, Src: path,
 	})
 	return nil
@@ -881,7 +886,7 @@ func (c *Cluster) Rename(src, dst string) error {
 	}
 	c.jlog(auditlog.Entry{Op: auditlog.OpRename, File: f.id, Path: src, Dst: dst})
 	c.audit.Append(auditlog.Record{
-		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		Time: c.clock.Now(), Allowed: true, UGI: "hadoop",
 		IP: "10.0.0.1", Cmd: auditlog.CmdRename, Src: src, Dst: dst,
 	})
 	return nil

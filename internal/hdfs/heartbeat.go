@@ -109,7 +109,7 @@ func (c *Cluster) declareDead(id DatanodeID) {
 		return
 	}
 	if d.State == StateActive && !d.crashed {
-		d.ActiveTime += c.engine.Now() - d.activeSince
+		d.ActiveTime += c.clock.Now() - d.activeSince
 	}
 	d.State = StateDown
 	d.Stale = false
@@ -125,7 +125,7 @@ func (c *Cluster) declareDead(id DatanodeID) {
 	// Re-evaluate safe mode before repair decisions fire: in a correlated
 	// failure the guard must trip mid-cascade so the remaining deaths defer
 	// their re-replication instead of scheduling a repair storm.
-	c.evalSafeMode(c.engine.Now())
+	c.evalSafeMode(c.clock.Now())
 	for _, fn := range c.onDeadNode {
 		fn(id)
 	}

@@ -50,7 +50,7 @@ func (c *Cluster) jlog(e auditlog.Entry) {
 	if c.Fenced() {
 		c.metrics.FencedWritesApplied++
 	}
-	e.Time = c.engine.Now()
+	e.Time = c.clock.Now()
 	c.journal.Append(e)
 }
 
@@ -265,8 +265,8 @@ func (c *Cluster) applyEntry(e auditlog.Entry) error {
 			// uptime invariant (ActiveTime + open interval <= now); the
 			// gap between the real transition and replay time is simply
 			// not billed as active.
-			d.activeSince = c.engine.Now()
-			d.lastHeartbeat = c.engine.Now()
+			d.activeSince = c.clock.Now()
+			d.lastHeartbeat = c.clock.Now()
 		}
 		if s == StateDown {
 			// Mirrors declareDead: staleness ends at death. The crashed

@@ -76,7 +76,7 @@ func TestShrinkPreservesRackDiversity(t *testing.T) {
 	}
 	b := f.Blocks[0]
 	c.SetReplication("/x", 6, WholeAtOnce, nil)
-	c.Engine().Run()
+	c.Clock().(*sim.Engine).Run()
 	if got := len(c.Replicas(b)); got != 6 {
 		t.Fatalf("grow: replicas = %d, want 6", got)
 	}

@@ -82,14 +82,14 @@ func (c *Cluster) ReadFile(client topology.NodeID, path string, done func(*ReadR
 // naturally desynchronized.
 func (c *Cluster) ReadFileAt(client topology.NodeID, path string, start int, done func(*ReadResult)) {
 	f := c.files[path]
-	res := &ReadResult{Path: path, Client: client, Start: c.engine.Now()}
+	res := &ReadResult{Path: path, Client: client, Start: c.clock.Now()}
 	if f == nil {
 		c.audit.Append(auditlog.Record{
-			Time: c.engine.Now(), Allowed: false, UGI: "hadoop",
+			Time: c.clock.Now(), Allowed: false, UGI: "hadoop",
 			IP: c.clientIP(client), Cmd: auditlog.CmdOpen, Src: path,
 		})
 		res.Err = fmt.Errorf("hdfs: no such file %q", path)
-		res.End = c.engine.Now()
+		res.End = c.clock.Now()
 		if done != nil {
 			done(res)
 		}
@@ -98,7 +98,7 @@ func (c *Cluster) ReadFileAt(client topology.NodeID, path string, start int, don
 	span := c.tracer.Begin("hdfs.read", c.tracer.Current())
 	c.tracer.SetAttr(span, "path", path)
 	c.audit.Append(auditlog.Record{
-		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		Time: c.clock.Now(), Allowed: true, UGI: "hadoop",
 		IP: c.clientIP(client), Cmd: auditlog.CmdOpen, Src: path,
 	})
 	c.metrics.ReadsStarted++
@@ -114,7 +114,7 @@ func (c *Cluster) ReadFileAt(client topology.NodeID, path string, start int, don
 	var step func(i int)
 	step = func(i int) {
 		if i >= len(blocks) {
-			res.End = c.engine.Now()
+			res.End = c.clock.Now()
 			c.activeReads--
 			c.metrics.ReadsCompleted++
 			c.metrics.BytesRead += res.Bytes
@@ -128,7 +128,7 @@ func (c *Cluster) ReadFileAt(client topology.NodeID, path string, start int, don
 		c.readBlock(client, blocks[i], 0, 0, func(bytes float64, loc Locality, err error) {
 			if err != nil {
 				res.Err = err
-				res.End = c.engine.Now()
+				res.End = c.clock.Now()
 				c.activeReads--
 				c.metrics.ReadsFailed++
 				c.tracer.SetAttr(span, "error", "read failed")
@@ -171,17 +171,17 @@ func (c *Cluster) ReadBlock(client topology.NodeID, id BlockID, done func(bytes 
 // the range is clamped to the file size.
 func (c *Cluster) ReadRange(client topology.NodeID, path string, offset, length float64, done func(*ReadResult)) {
 	f := c.files[path]
-	res := &ReadResult{Path: path, Client: client, Start: c.engine.Now(), Offset: offset, Length: length}
+	res := &ReadResult{Path: path, Client: client, Start: c.clock.Now(), Offset: offset, Length: length}
 	fail := func(err error) {
 		res.Err = err
-		res.End = c.engine.Now()
+		res.End = c.clock.Now()
 		if done != nil {
 			done(res)
 		}
 	}
 	if f == nil {
 		c.audit.Append(auditlog.Record{
-			Time: c.engine.Now(), Allowed: false, UGI: "hadoop",
+			Time: c.clock.Now(), Allowed: false, UGI: "hadoop",
 			IP: c.clientIP(client), Cmd: auditlog.CmdPread, Src: path,
 		})
 		fail(fmt.Errorf("hdfs: no such file %q", path))
@@ -189,7 +189,7 @@ func (c *Cluster) ReadRange(client topology.NodeID, path string, offset, length 
 	}
 	if offset < 0 || offset >= f.Size {
 		c.audit.Append(auditlog.Record{
-			Time: c.engine.Now(), Allowed: false, UGI: "hadoop",
+			Time: c.clock.Now(), Allowed: false, UGI: "hadoop",
 			IP: c.clientIP(client), Cmd: auditlog.CmdPread, Src: path,
 		})
 		fail(fmt.Errorf("hdfs: pread offset %.0f out of range for %q (size %.0f)", offset, path, f.Size))
@@ -237,7 +237,7 @@ func (c *Cluster) ReadRange(client topology.NodeID, path string, offset, length 
 	c.tracer.SetAttrInt(sp, "offset", int64(offset))
 	c.tracer.SetAttrInt(sp, "length", int64(res.Length))
 	c.audit.Append(auditlog.Record{
-		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		Time: c.clock.Now(), Allowed: true, UGI: "hadoop",
 		IP: c.clientIP(client), Cmd: auditlog.CmdPread, Src: path,
 	})
 	c.metrics.ReadsStarted++
@@ -246,7 +246,7 @@ func (c *Cluster) ReadRange(client topology.NodeID, path string, offset, length 
 	var step func(i int)
 	step = func(i int) {
 		if i >= len(spans) {
-			res.End = c.engine.Now()
+			res.End = c.clock.Now()
 			c.activeReads--
 			c.metrics.ReadsCompleted++
 			c.metrics.BytesRead += res.Bytes
@@ -261,7 +261,7 @@ func (c *Cluster) ReadRange(client topology.NodeID, path string, offset, length 
 		c.readBlock(client, spans[i].id, spans[i].bytes, 0, func(bytes float64, loc Locality, err error) {
 			if err != nil {
 				res.Err = err
-				res.End = c.engine.Now()
+				res.End = c.clock.Now()
 				c.activeReads--
 				c.metrics.ReadsFailed++
 				c.tracer.SetAttr(sp, "error", "pread failed")
@@ -294,7 +294,7 @@ func (c *Cluster) ReadRange(client topology.NodeID, path string, offset, length 
 func (c *Cluster) Transfer(src, dst topology.NodeID, bytes float64, done func()) {
 	if bytes <= 0 {
 		if done != nil {
-			c.engine.Schedule(0, func() { done() })
+			c.clock.Schedule(0, func() { done() })
 		}
 		return
 	}
@@ -410,7 +410,7 @@ func (c *Cluster) readBlock(client topology.NodeID, id BlockID, amount float64, 
 			c.metrics.RemoteReads++
 		}
 		ev := BlockReadEvent{
-			Time: c.engine.Now(), Path: b.File, Block: id, Datanode: src, Client: client,
+			Time: c.clock.Now(), Path: b.File, Block: id, Datanode: src, Client: client,
 			Bytes: stream,
 		}
 		for _, fn := range c.onBlockRead {

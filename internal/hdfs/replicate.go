@@ -116,7 +116,7 @@ func (c *Cluster) AddReplicaLimited(id BlockID, target DatanodeID, maxRate float
 			c.reindexNode(td)
 		}
 	}
-	c.engine.Schedule(c.cfg.ReplCommandLatency, func() {
+	c.clock.Schedule(c.cfg.ReplCommandLatency, func() {
 		if td.State == StateDown || td.crashed || c.NodeUnreachable(target) {
 			settle()
 			fail(fmt.Errorf("hdfs: target %s died before copy", td.Name))
@@ -186,7 +186,7 @@ func (c *Cluster) finish(done func(error), err error) {
 	if done == nil {
 		return
 	}
-	c.engine.Schedule(0, func() { done(err) })
+	c.clock.Schedule(0, func() { done(err) })
 }
 
 // RemoveReplica drops the replica of id on target (metadata-only; freeing
@@ -264,7 +264,7 @@ func (c *Cluster) SetReplication(path string, n int, mode ReplicationMode, done 
 		return
 	}
 	c.audit.Append(auditlog.Record{
-		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		Time: c.clock.Now(), Allowed: true, UGI: "hadoop",
 		IP: "10.0.0.1", Cmd: auditlog.CmdSetRepl, Src: path,
 	})
 	f.TargetRepl = n
@@ -395,7 +395,7 @@ func (c *Cluster) UnderReplicated() []BlockID {
 // Returns a stop function.
 func (c *Cluster) StartReplicationMonitor(period time.Duration) func() {
 	inFlight := map[BlockID]bool{}
-	t := sim.NewTicker(c.engine, period, func(time.Duration) {
+	t := sim.NewTicker(c.clock, period, func(time.Duration) {
 		for _, bid := range c.UnderReplicated() {
 			if inFlight[bid] {
 				continue

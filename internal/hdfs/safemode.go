@@ -186,7 +186,7 @@ func (c *Cluster) enterSafeMode(reason string) {
 	c.healthySince = -1
 	c.metrics.SafeModeEntries++
 	c.audit.Append(auditlog.Record{
-		Time: c.engine.Now(), Allowed: true, UGI: "hdfs",
+		Time: c.clock.Now(), Allowed: true, UGI: "hdfs",
 		IP: "10.0.0.1", Cmd: auditlog.CmdSafeMode, Src: "/enter/" + reason,
 	})
 	if sp := c.tracer.Instant("hdfs.safemode.enter", c.tracer.Current()); sp != 0 {
@@ -206,7 +206,7 @@ func (c *Cluster) exitSafeMode() {
 	c.healthySince = -1
 	c.metrics.SafeModeExits++
 	c.audit.Append(auditlog.Record{
-		Time: c.engine.Now(), Allowed: true, UGI: "hdfs",
+		Time: c.clock.Now(), Allowed: true, UGI: "hdfs",
 		IP: "10.0.0.1", Cmd: auditlog.CmdSafeMode, Src: "/leave",
 	})
 	c.tracer.Instant("hdfs.safemode.leave", c.tracer.Current())

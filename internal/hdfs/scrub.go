@@ -108,7 +108,7 @@ func (c *Cluster) StartScrubber(cfg ScrubConfig) func() {
 	if cfg.BlocksPerScan <= 0 {
 		cfg.BlocksPerScan = 50
 	}
-	t := sim.NewTicker(c.engine, cfg.Period, func(time.Duration) {
+	t := sim.NewTicker(c.clock, cfg.Period, func(time.Duration) {
 		c.scrubPass(cfg.BlocksPerScan)
 	})
 	return t.Stop

@@ -45,8 +45,8 @@ func (c *Cluster) Commission(id DatanodeID) {
 		return
 	}
 	d.State = StateActive
-	d.activeSince = c.engine.Now()
-	d.lastHeartbeat = c.engine.Now()
+	d.activeSince = c.clock.Now()
+	d.lastHeartbeat = c.clock.Now()
 	c.reindexNode(d)
 	c.jlog(auditlog.Entry{Op: auditlog.OpNodeState, Node: int(id), State: int(StateActive)})
 	if sp := c.tracer.Instant("hdfs.commission", c.tracer.Current()); sp != 0 {
@@ -75,7 +75,7 @@ func (c *Cluster) ToStandby(id DatanodeID) {
 	if d.State != StateActive {
 		return
 	}
-	d.ActiveTime += c.engine.Now() - d.activeSince
+	d.ActiveTime += c.clock.Now() - d.activeSince
 	d.State = StateStandby
 	c.reindexNode(d)
 	c.jlog(auditlog.Entry{Op: auditlog.OpNodeState, Node: int(id), State: int(StateStandby)})
@@ -102,7 +102,7 @@ func (c *Cluster) Kill(id DatanodeID) {
 		return
 	}
 	if d.State == StateActive {
-		d.ActiveTime += c.engine.Now() - d.activeSince
+		d.ActiveTime += c.clock.Now() - d.activeSince
 	}
 	d.crashed = true
 	c.reindexNode(d)
@@ -123,7 +123,7 @@ func (c *Cluster) Decommission(id DatanodeID, done func(error)) {
 		c.finish(done, fmt.Errorf("hdfs: %s is %s, not active", d.Name, d.State))
 		return
 	}
-	d.ActiveTime += c.engine.Now() - d.activeSince
+	d.ActiveTime += c.clock.Now() - d.activeSince
 	d.State = StateDecommissioning
 	c.reindexNode(d)
 	c.jlog(auditlog.Entry{Op: auditlog.OpNodeState, Node: int(id), State: int(StateDecommissioning)})
@@ -205,8 +205,8 @@ func (c *Cluster) Restart(id DatanodeID) {
 	d.stalled = false
 	d.Stale = false
 	d.State = StateActive
-	d.activeSince = c.engine.Now()
-	d.lastHeartbeat = c.engine.Now()
+	d.activeSince = c.clock.Now()
+	d.lastHeartbeat = c.clock.Now()
 	c.reindexNode(d)
 	c.jlog(auditlog.Entry{Op: auditlog.OpNodeState, Node: int(id), State: int(StateActive), Flag: true})
 	for _, fn := range c.onNodeUp {

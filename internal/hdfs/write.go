@@ -39,12 +39,12 @@ func (w *WriteResult) ThroughputMBps() float64 {
 // Unlike CreateFile (which materializes data instantly for experiment
 // setup), WriteFile occupies the cluster for the transfer's real duration.
 func (c *Cluster) WriteFile(client topology.NodeID, path string, size float64, repl int, done func(*WriteResult)) {
-	res := &WriteResult{Path: path, Client: client, Start: c.engine.Now()}
+	res := &WriteResult{Path: path, Client: client, Start: c.clock.Now()}
 	fail := func(err error) {
 		res.Err = err
-		res.End = c.engine.Now()
+		res.End = c.clock.Now()
 		if done != nil {
-			c.engine.Schedule(0, func() { done(res) })
+			c.clock.Schedule(0, func() { done(res) })
 		}
 	}
 	if err := c.writable(); err != nil {
@@ -63,14 +63,14 @@ func (c *Cluster) WriteFile(client topology.NodeID, path string, size float64, r
 		repl = c.cfg.DefaultReplication
 	}
 	c.audit.Append(auditlog.Record{
-		Time: c.engine.Now(), Allowed: true, UGI: "hadoop",
+		Time: c.clock.Now(), Allowed: true, UGI: "hadoop",
 		IP: c.clientIP(client), Cmd: auditlog.CmdCreate, Src: path,
 	})
 	f := &INode{
 		Path:       path,
 		Size:       size,
 		TargetRepl: repl,
-		CreatedAt:  c.engine.Now(),
+		CreatedAt:  c.clock.Now(),
 	}
 	c.registerFile(f)
 	nBlocks := int(size / c.cfg.BlockSize)
@@ -81,7 +81,7 @@ func (c *Cluster) WriteFile(client topology.NodeID, path string, size float64, r
 	writeBlock = func(i int) {
 		if i >= nBlocks {
 			res.Bytes = size
-			res.End = c.engine.Now()
+			res.End = c.clock.Now()
 			if done != nil {
 				done(res)
 			}

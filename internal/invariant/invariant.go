@@ -229,7 +229,7 @@ func checkDurability(t Target) []string {
 // checkEnergy balances the standby pool's activity books.
 func checkEnergy(t Target) []string {
 	var errs []string
-	now := t.Cluster.Engine().Now()
+	now := t.Cluster.Clock().Now()
 	rep := t.Manager.Energy()
 	if rep.PoolActiveTime < 0 || rep.PoolActiveTime > rep.AllActiveTime {
 		errs = append(errs, fmt.Sprintf("energy: pooled uptime %s outside [0, %s]",
@@ -466,7 +466,7 @@ func (w *Watcher) checkReplay() []string {
 // violations are never missed.
 func (w *Watcher) Stop() {
 	w.ticker.Stop()
-	w.sweep(w.target.Cluster.Engine().Now())
+	w.sweep(w.target.Cluster.Clock().Now())
 }
 
 // Violations returns every distinct violation observed, in first-seen

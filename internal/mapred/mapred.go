@@ -162,7 +162,7 @@ func (c *Cluster) Submit(j *Job) error {
 	}
 	c.nextID++
 	j.ID = c.nextID
-	j.SubmitTime = c.hdfs.Engine().Now()
+	j.SubmitTime = c.hdfs.Clock().Now()
 	j.pending = append([]hdfs.BlockID(nil), f.Blocks...)
 	j.total = len(j.pending)
 	j.mapNodes = make(map[topology.NodeID]float64)
@@ -324,7 +324,7 @@ type taskAttempt struct {
 // backup marks a speculative duplicate of an already-running task.
 func (c *Cluster) launch(j *Job, bid hdfs.BlockID, node topology.NodeID, backup bool) {
 	if j.StartTime == 0 && j.running == 0 && j.completed == 0 {
-		j.StartTime = c.hdfs.Engine().Now()
+		j.StartTime = c.hdfs.Clock().Now()
 	}
 	att := j.attempts[bid]
 	if backup {
@@ -332,12 +332,12 @@ func (c *Cluster) launch(j *Job, bid hdfs.BlockID, node topology.NodeID, backup 
 		j.SpeculativeLaunched++
 	} else {
 		j.takeBlock(bid)
-		att = &taskAttempt{start: c.hdfs.Engine().Now(), node: node}
+		att = &taskAttempt{start: c.hdfs.Clock().Now(), node: node}
 		j.attempts[bid] = att
 	}
 	j.running++
 	c.free[node]--
-	readStart := c.hdfs.Engine().Now()
+	readStart := c.hdfs.Clock().Now()
 	c.hdfs.ReadBlock(node, bid, func(bytes float64, loc hdfs.Locality, err error) {
 		if att.done {
 			c.finishLoser(j, node)
@@ -348,9 +348,9 @@ func (c *Cluster) launch(j *Job, bid hdfs.BlockID, node topology.NodeID, backup 
 			c.finishTask(j, node, err)
 			return
 		}
-		readSecs := (c.hdfs.Engine().Now() - readStart).Seconds()
+		readSecs := (c.hdfs.Clock().Now() - readStart).Seconds()
 		compute := time.Duration(float64(j.ComputePerMB) * bytes / topology.MB)
-		c.hdfs.Engine().Schedule(compute, func() {
+		c.hdfs.Clock().Schedule(compute, func() {
 			if att.done {
 				c.finishLoser(j, node)
 				return
@@ -368,7 +368,7 @@ func (c *Cluster) launch(j *Job, bid hdfs.BlockID, node topology.NodeID, backup 
 				j.RemoteTasks++
 			}
 			j.mapNodes[node] += bytes * j.SelectivityPct / 100
-			j.taskSecs += (c.hdfs.Engine().Now() - att.start).Seconds()
+			j.taskSecs += (c.hdfs.Clock().Now() - att.start).Seconds()
 			if backup {
 				j.SpeculativeWon++
 			}
@@ -413,7 +413,7 @@ func (c *Cluster) scheduleSpeculationCheck(j *Job) {
 	if mean <= 0 {
 		return
 	}
-	now := c.hdfs.Engine().Now()
+	now := c.hdfs.Clock().Now()
 	var earliest time.Duration = -1
 	for _, att := range j.attempts {
 		if att.done || att.backup {
@@ -431,7 +431,7 @@ func (c *Cluster) scheduleSpeculationCheck(j *Job) {
 	if delay < 0 {
 		delay = 0
 	}
-	c.hdfs.Engine().Schedule(delay, c.dispatch)
+	c.hdfs.Clock().Schedule(delay, c.dispatch)
 }
 
 func (c *Cluster) completeJob(j *Job) {
@@ -439,7 +439,7 @@ func (c *Cluster) completeJob(j *Job) {
 		return
 	}
 	j.Done = true
-	j.EndTime = c.hdfs.Engine().Now()
+	j.EndTime = c.hdfs.Clock().Now()
 	for _, fn := range c.onDone {
 		fn(j)
 	}
@@ -461,7 +461,7 @@ func (j *Job) meanTaskSecs() float64 {
 // replica of the block, so the backup is guaranteed to read a different
 // disk than the one the straggler is stuck on.
 func (c *Cluster) pickSpeculative(node topology.NodeID) (*Job, hdfs.BlockID, bool) {
-	now := c.hdfs.Engine().Now()
+	now := c.hdfs.Clock().Now()
 	d := c.hdfs.Datanode(hdfs.DatanodeID(node))
 	if d.State != hdfs.StateActive {
 		return nil, 0, false
@@ -518,7 +518,7 @@ func (c *Cluster) startShuffle(j *Job) {
 		var fetched float64
 		reducerDone := func() {
 			compute := time.Duration(float64(j.ReducePerMB) * fetched / topology.MB)
-			c.hdfs.Engine().Schedule(compute, func() {
+			c.hdfs.Clock().Schedule(compute, func() {
 				j.reducing--
 				if j.reducing == 0 {
 					c.completeJob(j)

@@ -60,8 +60,8 @@ func (f *Flow) Canceled() bool { return f.canceled }
 
 // Fabric owns the link table and the active flow set.
 type Fabric struct {
-	engine *sim.Engine
-	links  []topology.Link
+	clock sim.Clock
+	links []topology.Link
 	// flows holds the active flows in ascending id order: ids are assigned
 	// monotonically on admission and removal preserves order, so the slice
 	// is always sorted and every order-sensitive loop can range over it
@@ -111,7 +111,7 @@ func (fb *Fabric) RegisterMetrics(r *metrics.Registry) {
 }
 
 // New creates a fabric over the topology's link table.
-func New(engine *sim.Engine, topo *topology.Topology) *Fabric {
+func New(clock sim.Clock, topo *topology.Topology) *Fabric {
 	links := make([]topology.Link, len(topo.Links))
 	copy(links, topo.Links)
 	base := make([]float64, len(links))
@@ -121,7 +121,7 @@ func New(engine *sim.Engine, topo *topology.Topology) *Fabric {
 		factor[i] = 1
 	}
 	return &Fabric{
-		engine:       engine,
+		clock:        clock,
 		links:        links,
 		linkFlows:    make([][]*Flow, len(links)),
 		bytesPerLink: make([]float64, len(links)),
@@ -194,7 +194,7 @@ func (fb *Fabric) StartFlow(path []topology.LinkID, bytes float64, maxRate float
 		path:      append([]topology.LinkID(nil), path...),
 		remaining: bytes,
 		maxRate:   maxRate,
-		start:     fb.engine.Now(),
+		start:     fb.clock.Now(),
 		onDone:    onDone,
 		fabric:    fb,
 	}
@@ -256,7 +256,7 @@ func (fb *Fabric) Progress(f *Flow) float64 {
 	if f.done {
 		return 0
 	}
-	elapsed := (fb.engine.Now() - fb.lastCalc).Seconds()
+	elapsed := (fb.clock.Now() - fb.lastCalc).Seconds()
 	rem := f.remaining - f.rate*elapsed
 	if rem < 0 {
 		rem = 0
@@ -272,7 +272,7 @@ func (fb *Fabric) ordered() []*Flow { return fb.flows }
 // settle advances every active flow's remaining bytes to the current
 // instant, attributing the moved bytes to accounting.
 func (fb *Fabric) settle() {
-	now := fb.engine.Now()
+	now := fb.clock.Now()
 	elapsed := (now - fb.lastCalc).Seconds()
 	if elapsed > 0 {
 		for _, f := range fb.ordered() {
@@ -294,7 +294,7 @@ func (fb *Fabric) settle() {
 // completion event.
 func (fb *Fabric) reallocate() {
 	if fb.nextDone != nil {
-		fb.engine.Cancel(fb.nextDone)
+		fb.clock.Cancel(fb.nextDone)
 		fb.nextDone = nil
 	}
 	if len(fb.flows) == 0 {
@@ -328,7 +328,7 @@ func (fb *Fabric) reallocate() {
 	if delay < 0 {
 		delay = 0
 	}
-	fb.nextDone = fb.engine.Schedule(delay, fb.completeDue)
+	fb.nextDone = fb.clock.Schedule(delay, fb.completeDue)
 }
 
 // completeDue fires when the earliest flow(s) finish: it settles progress,

@@ -15,7 +15,7 @@ import (
 // puts one in front of its replica copies to give recovery traffic a
 // bandwidth budget instead of the whole fabric.
 type TokenBucket struct {
-	engine  *sim.Engine
+	clock   sim.Clock
 	rate    float64 // tokens (bytes) per second
 	burst   float64 // bucket capacity
 	tokens  float64
@@ -31,7 +31,7 @@ type bucketWaiter struct {
 
 // NewTokenBucket builds a bucket that starts full. rate must be positive;
 // burst <= 0 defaults to one second's worth of tokens.
-func NewTokenBucket(engine *sim.Engine, rate, burst float64) *TokenBucket {
+func NewTokenBucket(clock sim.Clock, rate, burst float64) *TokenBucket {
 	if rate <= 0 {
 		panic("netsim: token bucket rate must be positive")
 	}
@@ -39,11 +39,11 @@ func NewTokenBucket(engine *sim.Engine, rate, burst float64) *TokenBucket {
 		burst = rate
 	}
 	return &TokenBucket{
-		engine: engine,
+		clock:  clock,
 		rate:   rate,
 		burst:  burst,
 		tokens: burst,
-		last:   engine.Now(),
+		last:   clock.Now(),
 	}
 }
 
@@ -70,7 +70,7 @@ func (tb *TokenBucket) Rate() float64 { return tb.rate }
 
 // refill accrues tokens for the time elapsed since the last refill.
 func (tb *TokenBucket) refill() {
-	now := tb.engine.Now()
+	now := tb.clock.Now()
 	if now > tb.last {
 		tb.tokens += tb.rate * (now - tb.last).Seconds()
 		if tb.tokens > tb.burst {
@@ -89,7 +89,7 @@ func (tb *TokenBucket) drain() {
 		tb.waiters = tb.waiters[1:]
 		tb.tokens -= w.cost
 		if w.ready != nil {
-			tb.engine.Schedule(0, w.ready)
+			tb.clock.Schedule(0, w.ready)
 		}
 	}
 	if len(tb.waiters) == 0 || tb.armed {
@@ -101,7 +101,7 @@ func (tb *TokenBucket) drain() {
 		wait = time.Nanosecond
 	}
 	tb.armed = true
-	tb.engine.Schedule(wait, func() {
+	tb.clock.Schedule(wait, func() {
 		tb.armed = false
 		tb.drain()
 	})

@@ -4,9 +4,10 @@ import "time"
 
 // Ticker invokes a callback at a fixed virtual-time period until stopped.
 // ERMS uses tickers for CEP window evaluation, Condor negotiation cycles,
-// and datanode heartbeats.
+// and datanode heartbeats. Tickers schedule through the Clock seam, so
+// the same ticker drives heartbeats in a simulation and in service mode.
 type Ticker struct {
-	engine  *Engine
+	clock   Clock
 	period  time.Duration
 	fn      func(now time.Duration)
 	next    *Event
@@ -15,21 +16,21 @@ type Ticker struct {
 
 // NewTicker schedules fn every period, with the first firing one period from
 // now. It panics if period is not positive.
-func NewTicker(e *Engine, period time.Duration, fn func(now time.Duration)) *Ticker {
+func NewTicker(c Clock, period time.Duration, fn func(now time.Duration)) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
 	}
-	t := &Ticker{engine: e, period: period, fn: fn}
+	t := &Ticker{clock: c, period: period, fn: fn}
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.next = t.engine.Schedule(t.period, func() {
+	t.next = t.clock.Schedule(t.period, func() {
 		if t.stopped {
 			return
 		}
-		t.fn(t.engine.Now())
+		t.fn(t.clock.Now())
 		if !t.stopped {
 			t.arm()
 		}
@@ -43,7 +44,7 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	t.engine.Cancel(t.next)
+	t.clock.Cancel(t.next)
 }
 
 // Stopped reports whether Stop has been called.
